@@ -1,0 +1,1 @@
+bench/ablations.ml: Adversary Array Bench_util Consensus List Printf Sim

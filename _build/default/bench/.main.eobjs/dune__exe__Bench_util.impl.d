@@ -1,0 +1,1 @@
+bench/bench_util.ml: Adversary Array Consensus List Printf Sim Stats String

@@ -1,0 +1,1 @@
+bench/experiments.ml: Adversary Array Bench_util Consensus Float List Lowerbound Printf Sim

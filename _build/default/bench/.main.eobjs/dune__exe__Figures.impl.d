@@ -1,0 +1,1 @@
+bench/figures.ml: Adversary Array Bench_util Consensus Expander Groups Hashtbl List Lowerbound Printf Sim String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Experiments Figures List Micro Printf String Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Adversary Analyze Array Bechamel Bench_util Benchmark Consensus Expander Hashtbl Instance List Lowerbound Measure Printf Sim Staged Test Time Toolkit

@@ -1,0 +1,59 @@
+(* Shared plumbing for the experiment harness. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+type run_measure = {
+  rounds : int;  (** decided round, or total if not terminated *)
+  decided : bool;
+  messages : int;
+  bits : int;
+  rand_calls : int;
+  rand_bits : int;
+  faults : int;
+}
+
+let measure ?on_round proto cfg ~adversary ~inputs =
+  let o = Sim.Engine.run ?on_round proto cfg ~adversary ~inputs in
+  (match Sim.Engine.agreed_decision o with
+  | Some _ -> ()
+  | None ->
+      failwith
+        "experiment run violated consensus — this is a bug, please report");
+  {
+    rounds =
+      (match o.Sim.Engine.decided_round with
+      | Some r -> r
+      | None -> o.rounds_total);
+    decided = o.decided_round <> None;
+    messages = o.messages_sent;
+    bits = o.bits_sent;
+    rand_calls = o.rand_calls;
+    rand_bits = o.rand_bits;
+    faults = o.faults_used;
+  }
+
+(* Average a measurement over seeds. *)
+let avg_measure ~seeds f =
+  let ms = List.map f seeds in
+  let n = float_of_int (List.length ms) in
+  let favg g = List.fold_left (fun a m -> a +. float_of_int (g m)) 0. ms /. n in
+  ( favg (fun m -> m.rounds),
+    favg (fun m -> m.bits),
+    favg (fun m -> m.rand_bits),
+    favg (fun m -> m.messages) )
+
+let optimal_run ?(adversary = Adversary.vote_splitter ()) ~n ~t ~seed () =
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in
+  let proto = Consensus.Optimal_omissions.protocol cfg in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  measure proto cfg ~adversary ~inputs
+
+let fit_exponent ?(log_power = 0) ns ys =
+  Stats.growth_exponent ~log_power
+    (Array.of_list (List.map float_of_int ns))
+    (Array.of_list ys)

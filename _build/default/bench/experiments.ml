@@ -1,0 +1,295 @@
+(* Table 1 experiments: one section per row of the paper's Table 1.
+   EXPERIMENTS.md records the paper-vs-measured comparison for each. *)
+
+open Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* T1-thm1: Theorem 1 — O(sqrt n log^2 n) rounds, O(n^2 log^3 n) bits,
+   O(n^{3/2} log^2 n) random bits for Algorithm 1 at t = Theta(n).      *)
+(* ------------------------------------------------------------------ *)
+
+let t1_thm1 ~quick () =
+  section "T1-thm1: Algorithm 1 (OptimalOmissionsConsensus), Table 1 row 1";
+  Printf.printf
+    "t = floor(n/31) (the algorithm's Theta(n) maximum), adversary = \
+     vote-splitter, 3 seeds.\n";
+  let ns = if quick then [ 64; 100; 144; 196 ] else [ 64; 100; 144; 196; 256; 400 ] in
+  let seeds = [ 1; 2; 3 ] in
+  row "%6s %5s %10s %14s %12s %10s\n" "n" "t" "rounds" "comm bits" "rand bits"
+    "msgs";
+  let rounds_s = ref [] and bits_s = ref [] and rand_s = ref [] in
+  List.iter
+    (fun n ->
+      let t = max 1 (n / 31) in
+      let r, b, rb, m =
+        avg_measure ~seeds (fun seed -> optimal_run ~n ~t ~seed ())
+      in
+      rounds_s := r :: !rounds_s;
+      bits_s := b :: !bits_s;
+      rand_s := rb :: !rand_s;
+      row "%6d %5d %10.0f %14.0f %12.0f %10.0f\n" n t r b rb m)
+    ns;
+  let rounds_s = List.rev !rounds_s
+  and bits_s = List.rev !bits_s
+  and rand_s = List.rev !rand_s in
+  let e_bits = fit_exponent ~log_power:3 ns bits_s in
+  let e_rounds = fit_exponent ~log_power:2 ns rounds_s in
+  let e_rand = fit_exponent ~log_power:1 ns rand_s in
+  Printf.printf
+    "\nfitted growth exponents (polylog factors divided out first):\n";
+  Printf.printf
+    "  comm bits / log^3 n : n^%.2f   (paper: n^2; the n^2 decision \
+     broadcast + n^{3/2} polylog epochs)\n"
+    e_bits;
+  Printf.printf
+    "  rounds    / log^2 n : n^%.2f   (paper: n^{1/2} at t = Theta(n); at \
+     n <= 961 the epoch count (t/sqrt n) log n is clamped at its log n \
+     floor, so the expected measured exponent here is ~0)\n"
+    e_rounds;
+  Printf.printf
+    "  rand bits / log n   : n^%.2f   (paper: n^{3/2}; same clamping — one \
+     coin per process per epoch gives ~n log n in this regime, exponent \
+     ~1)\n"
+    e_rand;
+  Printf.printf
+    "shape check vs the deterministic baseline appears under T1-abraham.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T1-thm3: Theorem 3 — the T x R trade-off of Algorithm 4.            *)
+(* ------------------------------------------------------------------ *)
+
+let t1_thm3 ~quick () =
+  section "T1-thm3: Algorithm 4 (ParamOmissions), Table 1 row 2";
+  Printf.printf
+    "Sweeping the super-process count x: randomness R falls, time T rises,\n\
+     with T x R tracking ~n^2 polylog (Theorem 3). staggered-crash \
+     adversary.\n";
+  let ns = if quick then [ 64 ] else [ 64; 144 ] in
+  List.iter
+    (fun n ->
+      subsection (Printf.sprintf "n = %d, t = %d" n (max 1 (n / 61)));
+      row "%4s %8s %11s %11s %13s %14s\n" "x" "T" "R (bits)" "msgs"
+        "comm bits" "T x max(R,1)";
+      List.iter
+        (fun x ->
+          if x <= n / 4 then begin
+            let t = max 1 (n / 61) in
+            let cfg0 = Sim.Config.make ~n ~t_max:t ~seed:0 () in
+            let max_rounds =
+              Consensus.Param_omissions.rounds_needed ~x cfg0 + 10
+            in
+            let r, b, rb, m =
+              avg_measure ~seeds:[ 1; 2; 3 ] (fun seed ->
+                  let cfg =
+                    Sim.Config.make ~n ~t_max:t ~seed ~max_rounds ()
+                  in
+                  let proto = Consensus.Param_omissions.protocol ~x cfg in
+                  let inputs = Array.init n (fun i -> i mod 2) in
+                  measure proto cfg
+                    ~adversary:(Adversary.staggered_crash ~per_round:1)
+                    ~inputs)
+            in
+            row "%4d %8.0f %11.1f %11.0f %13.0f %14.0f\n" x r rb m b
+              (r *. Float.max rb 1.)
+          end)
+        [ 1; 2; 4; 8; 16 ])
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* T1-bjbo: the [10] baseline — Omega(t / sqrt(n log n)) rounds.       *)
+(* ------------------------------------------------------------------ *)
+
+let t1_bjbo ~quick () =
+  section "T1-bjbo: Bar-Joseph/Ben-Or baseline, Table 1 row 3";
+  Printf.printf
+    "Crash-model biased majority under the vote-splitting adversary, t = \
+     n/4.\nThe forced rounds track the t / sqrt(n log n) lower-bound shape.\n";
+  let ns = if quick then [ 64; 144; 256 ] else [ 64; 144; 256; 400; 576 ] in
+  row "%6s %5s %8s %18s %8s\n" "n" "t" "rounds" "t/sqrt(n log2 n)" "ratio";
+  List.iter
+    (fun n ->
+      let t = n / 4 in
+      let r, _, _, _ =
+        avg_measure ~seeds:[ 1; 2; 3; 4; 5 ] (fun seed ->
+            let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:5000 () in
+            let proto = Consensus.Bjbo.protocol cfg in
+            let inputs = Array.init n (fun i -> i mod 2) in
+            measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs)
+      in
+      let shape =
+        float_of_int t
+        /. sqrt (float_of_int n *. (log (float_of_int n) /. log 2.))
+      in
+      row "%6d %5d %8.1f %18.2f %8.2f\n" n t r shape (r /. shape))
+    ns;
+  Printf.printf
+    "(a roughly constant ratio column = the measured rounds follow the \
+     lower-bound shape)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T1-abraham: the [1] bound — Omega(t^2) messages for everyone.       *)
+(* ------------------------------------------------------------------ *)
+
+let t1_abraham ~quick () =
+  section "T1-abraham: Omega(t^2) message floor ([1]), Table 1 row 4";
+  Printf.printf
+    "Every protocol's message count sits above the eps t^2 lower bound; \
+     the\ndeterministic baselines pay Theta(n^2 t) while Algorithm 1 stays \
+     near-quadratic.\n";
+  let n = if quick then 100 else 144 in
+  let t_opt = max 1 (n / 31) in
+  let t_big = n / 4 in
+  row "%-24s %5s %12s %12s %10s\n" "protocol" "t" "messages" "t^2"
+    "msgs/t^2";
+  let entry name t msgs =
+    row "%-24s %5d %12d %12d %10.0f\n" name t msgs (t * t)
+      (float_of_int msgs /. float_of_int (t * t))
+  in
+  let cfg = Sim.Config.make ~n ~t_max:t_opt ~seed:1 ~max_rounds:20000 () in
+  let m =
+    measure (Consensus.Optimal_omissions.protocol cfg) cfg
+      ~adversary:(Adversary.vote_splitter ())
+      ~inputs:(Array.init n (fun i -> i mod 2))
+  in
+  entry "optimal-omissions" t_opt m.messages;
+  let cfg0 = Sim.Config.make ~n ~t_max:t_opt ~seed:1 () in
+  let max_rounds = Consensus.Param_omissions.rounds_needed ~x:4 cfg0 + 5 in
+  let cfg = Sim.Config.make ~n ~t_max:t_opt ~seed:1 ~max_rounds () in
+  let m =
+    measure (Consensus.Param_omissions.protocol ~x:4 cfg) cfg
+      ~adversary:(Adversary.staggered_crash ~per_round:1)
+      ~inputs:(Array.init n (fun i -> i mod 2))
+  in
+  entry "param-omissions(x=4)" t_opt m.messages;
+  let cfg = Sim.Config.make ~n ~t_max:t_big ~seed:1 ~max_rounds:5000 () in
+  let m =
+    measure (Consensus.Bjbo.protocol cfg) cfg
+      ~adversary:(Adversary.vote_splitter ())
+      ~inputs:(Array.init n (fun i -> i mod 2))
+  in
+  entry "bjbo (crash baseline)" t_big m.messages;
+  let cfg = Sim.Config.make ~n ~t_max:t_big ~seed:1 ~max_rounds:5000 () in
+  let m =
+    measure (Consensus.Flood.protocol cfg) cfg
+      ~adversary:(Adversary.staggered_crash ~per_round:2)
+      ~inputs:(Array.init n (fun i -> i mod 2))
+  in
+  entry "flood-min (deterministic)" t_big m.messages;
+  let n_ds = min n 100 in
+  let t_ds = n_ds / 8 in
+  let cfg =
+    Sim.Config.make ~n:n_ds ~t_max:t_ds ~seed:1 ~max_rounds:(t_ds + 5) ()
+  in
+  let m =
+    measure (Consensus.Dolev_strong.protocol cfg) cfg
+      ~adversary:(Adversary.random_omission ~p_omit:0.8)
+      ~inputs:(Array.init n_ds (fun i -> i mod 2))
+  in
+  row "%-24s %5d %12d %12d %10.0f   (n=%d: n parallel broadcasts)\n"
+    "dolev-strong [15]" t_ds m.messages (t_ds * t_ds)
+    (float_of_int m.messages /. float_of_int (t_ds * t_ds))
+    n_ds;
+  Printf.printf
+    "\nrounds comparison at the same (n, t): dolev-strong takes t+2 rounds \
+     (Theta(n) at t = Theta(n))\nwhile Algorithm 1's schedule is \
+     (t/sqrt(n)) polylog — the Table 1 separation.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T1-thm2: the lower bound T x (R+T) = Omega(t^2 / log n).            *)
+(* ------------------------------------------------------------------ *)
+
+let t1_thm2 ~quick () =
+  section "T1-thm2: Theorem 2 lower bound — why a lot of randomness is needed";
+  Printf.printf
+    "Adaptive vote-splitting adversary (the Lemma 13-15 strategy) against \
+     biased-majority\nvoting allowed k coin-flippers per round. t = n/4, 5 \
+     seeds.\n";
+  let ns = if quick then [ 64; 128 ] else [ 64; 128; 256 ] in
+  List.iter
+    (fun n ->
+      let t = n / 4 in
+      subsection (Printf.sprintf "n = %d, t = %d" n t);
+      row "%8s %8s %10s %14s %14s %7s\n" "k" "T" "R" "T x (R+T)"
+        "t^2/log2 n" "ratio";
+      List.iter
+        (fun k ->
+          let tr, rr, pp =
+            Lowerbound.Product.run_avg ~seeds:5 ~n ~t ~coin_set:k ()
+          in
+          let bound =
+            float_of_int (t * t) /. (log (float_of_int n) /. log 2.)
+          in
+          row "%8d %8.1f %10.1f %14.0f %14.0f %7.1f\n" k tr rr pp bound
+            (pp /. bound))
+        [ 1; 4; 16; n ])
+    ns;
+  Printf.printf
+    "\nReading: T falls as the per-round coin supply k grows (top rows), \
+     while the product\nT x (R+T) always clears the Omega(t^2/log n) bound \
+     — the paper's trade-off, measured.\n"
+
+let all ~quick () =
+  t1_thm1 ~quick ();
+  t1_thm3 ~quick ();
+  t1_bjbo ~quick ();
+  t1_abraham ~quick ();
+  t1_thm2 ~quick ()
+
+(* ------------------------------------------------------------------ *)
+(* B3: Appendix B.3 — the crash/omission communication separation.     *)
+(* ------------------------------------------------------------------ *)
+
+let b3 ~quick () =
+  section "B3: crash-model subquadratic variant vs Algorithm 1 (Appendix B.3)";
+  Printf.printf
+    "Same voting core; the crash variant replaces the Theta(n^2) line-14 \
+     broadcast with\nexpander dissemination — legal against crashes, \
+     impossible against omissions\n(Dolev-Reischuk / Abraham et al.: \
+     omissions force Omega(n^2) bits). The separation lives in\nthe \
+     dissemination step; the voting epochs cost the same Otilde(n^{3/2}) \
+     in both.\n";
+  let ns = if quick then [ 64; 144; 256 ] else [ 64; 144; 256; 400 ] in
+  row "%6s %5s %14s %14s %13s %13s %7s\n" "n" "t" "om total" "cr total"
+    "om dissem" "cr dissem" "ratio";
+  List.iter
+    (fun n ->
+      let t = max 1 (n / 31) in
+      let seed = 1 in
+      let inputs = Array.init n (fun i -> i mod 2) in
+      let adversary = Adversary.staggered_crash ~per_round:1 in
+      (* Algorithm 1: dissemination = the line-14 broadcast slot *)
+      let members = Array.init n (fun i -> i) in
+      let params = Consensus.Params.default in
+      let sh = Consensus.Core.make_shared ~members ~seed ~params ~t_max:t () in
+      let v = Consensus.Core.rounds sh in
+      let om_dissem = ref 0 in
+      let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in
+      let m_om =
+        measure
+          ~on_round:(fun ~round envelopes ->
+            if round >= v then
+              Array.iter
+                (fun e -> om_dissem := !om_dissem + e.Sim.View.bits)
+                envelopes)
+          (Consensus.Optimal_omissions.protocol cfg)
+          cfg ~adversary ~inputs
+      in
+      (* crash variant: dissemination = the gossip + help slots *)
+      let cr_dissem = ref 0 in
+      let m_cr =
+        measure
+          ~on_round:(fun ~round envelopes ->
+            if round >= v then
+              Array.iter
+                (fun e -> cr_dissem := !cr_dissem + e.Sim.View.bits)
+                envelopes)
+          (Consensus.Crash_subquadratic.protocol cfg)
+          cfg ~adversary ~inputs
+      in
+      row "%6d %5d %14d %14d %13d %13d %7.1f\n" n t m_om.bits m_cr.bits
+        !om_dissem !cr_dissem
+        (float_of_int !om_dissem /. float_of_int (max 1 !cr_dissem)))
+    ns;
+  Printf.printf
+    "(the dissemination ratio grows ~n/log^2 n: the crash variant sheds the \
+     quadratic term,\n which the omission model provably cannot)\n"

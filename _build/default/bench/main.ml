@@ -1,0 +1,72 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+   paper-vs-measured results).
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, default sizes
+     dune exec bench/main.exe -- --quick      # smaller sweeps (CI)
+     dune exec bench/main.exe -- --only t1-thm1,f3
+     dune exec bench/main.exe -- --micro      # also run bechamel benches *)
+
+let experiments =
+  [
+    ("t1-thm1", Experiments.t1_thm1);
+    ("t1-thm3", Experiments.t1_thm3);
+    ("t1-bjbo", Experiments.t1_bjbo);
+    ("t1-abraham", Experiments.t1_abraham);
+    ("t1-thm2", Experiments.t1_thm2);
+    ("b3", Experiments.b3);
+    ("f1", Figures.f1);
+    ("f2", Figures.f2);
+    ("f3", Figures.f3);
+    ("g4", Figures.g4);
+    ("l12", Figures.l12);
+    ("valency", Figures.valency);
+    ("abl-delta", Ablations.abl_delta);
+    ("abl-spread", Ablations.abl_spread);
+    ("abl-epochs", Ablations.abl_epochs);
+  ]
+
+let () =
+  let quick = ref false in
+  let micro = ref None in
+  let only = ref [] in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, "smaller sweeps");
+      ( "--only",
+        Arg.String (fun s -> only := String.split_on_char ',' s),
+        "comma-separated experiment ids" );
+      ( "--micro",
+        Arg.Unit (fun () -> micro := Some true),
+        "also run bechamel micro-benchmarks" );
+      ( "--no-micro",
+        Arg.Unit (fun () -> micro := Some false),
+        "skip bechamel micro-benchmarks" );
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "bench/main.exe [--quick] [--only ids] [--micro]";
+  let selected =
+    match !only with
+    | [] -> experiments
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id experiments with
+            | Some f -> Some (id, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S\n" id;
+                exit 2)
+          ids
+  in
+  Printf.printf
+    "Reproduction harness: Hajiaghayi, Kowalski, Olkowski — Nearly-Optimal \
+     Consensus\nTolerating Adaptive Omissions (PODC 2024). %s sweeps.\n"
+    (if !quick then "Quick" else "Default");
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ~quick:!quick ()) selected;
+  let run_micro =
+    match !micro with Some b -> b | None -> !only = []
+  in
+  if run_micro then Micro.benchmark ();
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

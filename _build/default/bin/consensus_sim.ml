@@ -1,0 +1,171 @@
+(** Command-line driver: run any protocol against any adversary and print
+    the three complexity metrics, or inspect a Theorem-4 communication
+    graph. *)
+
+open Cmdliner
+
+let protocol_conv =
+  Arg.enum
+    [ ("optimal", `Optimal);
+      ("param", `Param);
+      ("bjbo", `Bjbo);
+      ("flood", `Flood);
+      ("dolev-strong", `Dolev_strong);
+      ("crash-sub", `Crash_sub);
+    ]
+
+let adversary_conv =
+  Arg.enum
+    [
+      ("none", `None);
+      ("crash", `Crash);
+      ("random", `Random);
+      ("group", `Group);
+      ("splitter", `Splitter);
+      ("staggered", `Staggered);
+      ("eclipse", `Eclipse);
+    ]
+
+let inputs_conv =
+  Arg.enum [ ("mixed", `Mixed); ("ones", `Ones); ("zeros", `Zeros); ("random", `Random) ]
+
+let make_inputs kind n seed =
+  match kind with
+  | `Mixed -> Array.init n (fun i -> i mod 2)
+  | `Ones -> Array.make n 1
+  | `Zeros -> Array.make n 0
+  | `Random ->
+      let rand = Sim.Rand.create ~seed:(Int64.of_int (seed + 99)) () in
+      Array.init n (fun _ -> Sim.Rand.bit rand)
+
+let make_adversary kind =
+  match kind with
+  | `None -> Adversary.none
+  | `Crash -> Adversary.crash_schedule [ (1, [ 0 ]); (2, [ 1 ]); (5, [ 2; 3 ]) ]
+  | `Random -> Adversary.random_omission ~p_omit:0.7
+  | `Group -> Adversary.group_killer ()
+  | `Splitter -> Adversary.vote_splitter ()
+  | `Staggered -> Adversary.staggered_crash ~per_round:3
+  | `Eclipse -> Adversary.eclipse ~victim:0
+
+let run_cmd protocol n t x seed adversary inputs_kind =
+  let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
+  let proto, max_rounds =
+    match protocol with
+    | `Optimal ->
+        ( Consensus.Optimal_omissions.protocol cfg0,
+          Consensus.Optimal_omissions.rounds_needed cfg0 )
+    | `Param ->
+        ( Consensus.Param_omissions.protocol ~x cfg0,
+          Consensus.Param_omissions.rounds_needed ~x cfg0 )
+    | `Bjbo -> (Consensus.Bjbo.protocol cfg0, 60 * (t + 10))
+    | `Flood -> (Consensus.Flood.protocol cfg0, t + 10)
+    | `Dolev_strong -> (Consensus.Dolev_strong.protocol cfg0, t + 10)
+    | `Crash_sub ->
+        ( Consensus.Crash_subquadratic.protocol cfg0,
+          Consensus.Crash_subquadratic.rounds_needed cfg0 )
+  in
+  let cfg = { cfg0 with Sim.Config.max_rounds } in
+  let inputs = make_inputs inputs_kind n seed in
+  let o = Sim.Engine.run proto cfg ~adversary:(make_adversary adversary) ~inputs in
+  Fmt.pr "protocol           : %s@."
+    (let module P = (val proto : Sim.Protocol_intf.S) in
+     P.name);
+  Fmt.pr "n / t / seed       : %d / %d / %d@." n t seed;
+  Fmt.pr "adversary          : %s (faults used %d)@."
+    (make_adversary adversary).Sim.Adversary_intf.name o.Sim.Engine.faults_used;
+  Fmt.pr "rounds (T)         : %d%s@." o.rounds_total
+    (match o.decided_round with
+    | Some r -> Printf.sprintf " (all non-faulty decided by round %d)" r
+    | None -> " (DID NOT TERMINATE within max_rounds)");
+  Fmt.pr "messages / bits    : %d / %d@." o.messages_sent o.bits_sent;
+  Fmt.pr "rand calls / bits  : %d / %d@." o.rand_calls o.rand_bits;
+  Fmt.pr "omitted messages   : %d@." o.messages_omitted;
+  (match Sim.Engine.agreed_decision o with
+  | Some v -> Fmt.pr "decision           : %d (agreement holds)@." v
+  | None ->
+      Fmt.pr "decision           : DISAGREEMENT OR MISSING DECISIONS@.";
+      exit 1);
+  ()
+
+let graph_cmd n delta_c seed =
+  let delta = Expander.default_delta ~c:delta_c n in
+  let g = Expander.create_good ~n ~delta ~seed:(Int64.of_int seed) () in
+  let degs = Array.init n (fun v -> float_of_int (Expander.degree g v)) in
+  Fmt.pr "n=%d delta=%d edges=%d@." n delta (Expander.edge_count g);
+  Fmt.pr "degree: min=%.0f mean=%.1f max=%.0f@."
+    (Array.fold_left min degs.(0) degs)
+    (Stats.mean degs)
+    (Array.fold_left max degs.(0) degs);
+  let removed = Array.init n (fun v -> v < n / 15) in
+  let core = Expander.prune g ~removed ~min_deg:(delta / 3) in
+  Fmt.pr "Lemma 4: removed %d nodes -> dense core of %d (bound n - 4/3|T| = %d)@."
+    (n / 15)
+    (Expander.mask_size core)
+    (n - (4 * (n / 15) / 3));
+  let v = ref 0 in
+  while !v < n && not core.(!v) do
+    incr v
+  done;
+  if !v < n then
+    match Expander.eccentricity_within g ~mask:core ~v:!v with
+    | Some e -> Fmt.pr "core eccentricity from node %d: %d@." !v e
+    | None -> Fmt.pr "core is disconnected@."
+
+let n_arg =
+  Arg.(value & opt int 128 & info [ "n" ] ~doc:"Number of processes.")
+
+let t_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t" ] ~doc:"Fault budget (default n/31).")
+
+let x_arg =
+  Arg.(value & opt int 4 & info [ "x" ] ~doc:"Super-process count (param).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let delta_c_arg =
+  Arg.(value & opt int 8 & info [ "delta-c" ] ~doc:"Degree constant.")
+
+let run_term =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv `Optimal
+      & info [ "protocol"; "p" ] ~doc:"Protocol: optimal, param, bjbo, flood, dolev-strong, crash-sub.")
+  in
+  let adversary =
+    Arg.(
+      value
+      & opt adversary_conv `None
+      & info [ "adversary"; "a" ]
+          ~doc:"Adversary: none, crash, random, group, splitter, staggered, eclipse.")
+  in
+  let inputs =
+    Arg.(
+      value
+      & opt inputs_conv `Mixed
+      & info [ "inputs"; "i" ] ~doc:"Inputs: mixed, ones, zeros, random.")
+  in
+  Term.(
+    const (fun protocol n t x seed adversary inputs ->
+        let t = match t with Some t -> t | None -> max 1 (n / 31) in
+        run_cmd protocol n t x seed adversary inputs)
+    $ protocol $ n_arg $ t_arg $ x_arg $ seed_arg $ adversary $ inputs)
+
+let graph_term =
+  Term.(const graph_cmd $ n_arg $ delta_c_arg $ seed_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a consensus protocol in the simulator")
+      run_term;
+    Cmd.v (Cmd.info "graph" ~doc:"Inspect a Theorem-4 communication graph")
+      graph_term;
+  ]
+
+let () =
+  let doc = "Omission-tolerant consensus simulator (PODC 2024 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "consensus_sim" ~doc) cmds))

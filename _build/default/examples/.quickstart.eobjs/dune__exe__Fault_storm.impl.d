@@ -1,0 +1,1 @@
+examples/fault_storm.ml: Adversary Array Consensus Fmt List Printf Sim

@@ -1,0 +1,1 @@
+examples/ledger_commit.ml: Adversary Array Consensus Fmt List Sim String

@@ -1,0 +1,1 @@
+examples/ledger_commit.mli:

@@ -1,0 +1,1 @@
+examples/operative_gossip.ml: Adversary Array Consensus Fmt List Sim

@@ -1,0 +1,1 @@
+examples/operative_gossip.mli:

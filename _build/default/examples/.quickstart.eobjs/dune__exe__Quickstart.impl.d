@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Consensus Fmt Sim

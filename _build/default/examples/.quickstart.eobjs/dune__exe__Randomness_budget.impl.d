@@ -1,0 +1,1 @@
+examples/randomness_budget.ml: Adversary Array Consensus Fmt List Sim

@@ -1,0 +1,348 @@
+(** Adaptive full-information adversary strategies.
+
+    Every strategy is generic over the protocol: it reads the per-process
+    observations ({!Sim.View.obs}: candidate bit, operative flag, decided
+    flag, coin usage this round) and the pending message envelopes, and
+    returns corruptions and omissions. The engine enforces legality (budget,
+    omissions only at faulty endpoints), so strategies here express intent
+    and stay within [t_max] themselves. *)
+
+let none = Sim.Adversary_intf.none
+
+let take k l =
+  let rec go k acc = function
+    | [] -> List.rev acc
+    | _ when k = 0 -> List.rev acc
+    | x :: tl -> go (k - 1) (x :: acc) tl
+  in
+  go k [] l
+
+(* Shared helper: maintain a crash set; each round corrupt the newly chosen
+   victims and silence every message they send (classic crash semantics:
+   outgoing only). *)
+let crash_set_plan crashed new_victims =
+  List.iter (fun pid -> Hashtbl.replace crashed pid ()) new_victims;
+  {
+    Sim.View.new_faults = new_victims;
+    omit = (fun src _dst -> Hashtbl.mem crashed src);
+  }
+
+(** Crash the given processes at the given rounds (permanently silent from
+    that round on). Schedule: [(round, pids); ...]. *)
+let crash_schedule schedule =
+  {
+    Sim.Adversary_intf.name = "crash-schedule";
+    create =
+      (fun cfg _rand ->
+        let crashed = Hashtbl.create 16 in
+        fun view ->
+          let victims =
+            List.concat_map
+              (fun (r, pids) -> if r = view.Sim.View.round then pids else [])
+              schedule
+          in
+          let victims =
+            List.filter
+              (fun pid ->
+                (not (Hashtbl.mem crashed pid)) && not view.Sim.View.faulty.(pid))
+              victims
+          in
+          let budget = cfg.Sim.Config.t_max - view.faults_used in
+          crash_set_plan crashed (take budget victims));
+  }
+
+(** Corrupt [t_max] processes chosen uniformly at round 1, then omit each of
+    their incident messages independently with probability [p_omit] — noisy
+    but non-strategic omissions. *)
+let random_omission ~p_omit =
+  {
+    Sim.Adversary_intf.name = Printf.sprintf "random-omission(p=%.2f)" p_omit;
+    create =
+      (fun cfg rand ->
+        let faulty_set = Hashtbl.create 16 in
+        let chosen = ref false in
+        fun view ->
+          let new_faults =
+            if !chosen then []
+            else begin
+              chosen := true;
+              let perm = Array.init cfg.Sim.Config.n (fun i -> i) in
+              Sim.Rand.shuffle rand perm;
+              let victims =
+                Array.to_list (Array.sub perm 0 cfg.Sim.Config.t_max)
+              in
+              List.iter (fun pid -> Hashtbl.replace faulty_set pid ()) victims;
+              victims
+            end
+          in
+          ignore view;
+          {
+            Sim.View.new_faults;
+            omit =
+              (fun src dst ->
+                (Hashtbl.mem faulty_set src || Hashtbl.mem faulty_set dst)
+                && Sim.Rand.float rand < p_omit);
+          });
+  }
+
+(** Corrupt a majority of one sqrt-decomposition group (contiguous pids, as
+    the protocols partition them) and silence all their intra-group traffic:
+    the aggregation quorum of that group collapses and its survivors go
+    inoperative — the scenario of Figure 2's faulty process, scaled up. The
+    rest of the system must still decide. *)
+let group_killer ?(group = 0) () =
+  {
+    Sim.Adversary_intf.name = Printf.sprintf "group-killer(g=%d)" group;
+    create =
+      (fun cfg _rand ->
+        let n = cfg.Sim.Config.n in
+        let part = Groups.sqrt_partition (Array.init n (fun i -> i)) in
+        let members = Groups.group part group in
+        let victims_wanted = (Array.length members / 2) + 1 in
+        let victims =
+          take (min victims_wanted cfg.Sim.Config.t_max)
+            (Array.to_list members)
+        in
+        let victim_set = Hashtbl.create 16 in
+        List.iter (fun pid -> Hashtbl.replace victim_set pid ()) victims;
+        let member_set = Hashtbl.create 16 in
+        Array.iter (fun pid -> Hashtbl.replace member_set pid ()) members;
+        let started = ref false in
+        fun _view ->
+          let new_faults =
+            if !started then []
+            else begin
+              started := true;
+              victims
+            end
+          in
+          {
+            Sim.View.new_faults;
+            omit =
+              (fun src dst ->
+                (Hashtbl.mem victim_set src && Hashtbl.mem member_set dst)
+                || (Hashtbl.mem victim_set dst && Hashtbl.mem member_set src));
+          });
+  }
+
+(** Isolate [victim] by corrupting the processes that talk to it and
+    omitting exactly their messages to the victim (and the victim's
+    replies): with enough budget the victim's expander degree drops below
+    Delta/3 and it goes inoperative without a single fault of its own —
+    the non-faulty-but-inoperative case the paper's partition is built
+    around. Needs t_max above the victim's degree to fully eclipse. *)
+let eclipse ~victim =
+  {
+    Sim.Adversary_intf.name = Printf.sprintf "eclipse(victim=%d)" victim;
+    create =
+      (fun cfg _rand ->
+        let corrupted = Hashtbl.create 16 in
+        fun view ->
+          let budget = cfg.Sim.Config.t_max - view.Sim.View.faults_used in
+          (* corrupt the processes currently sending to the victim *)
+          let senders = Hashtbl.create 16 in
+          Array.iter
+            (fun e ->
+              if e.Sim.View.dst = victim && e.src <> victim then
+                Hashtbl.replace senders e.src ())
+            view.envelopes;
+          let new_faults =
+            Hashtbl.fold
+              (fun src () acc ->
+                if
+                  (not (Hashtbl.mem corrupted src))
+                  && not view.faulty.(src)
+                then src :: acc
+                else acc)
+              senders []
+          in
+          let new_faults = take budget (List.sort compare new_faults) in
+          List.iter (fun pid -> Hashtbl.replace corrupted pid ()) new_faults;
+          {
+            Sim.View.new_faults;
+            omit =
+              (fun src dst ->
+                (dst = victim && Hashtbl.mem corrupted src)
+                || (src = victim && Hashtbl.mem corrupted dst));
+          });
+  }
+
+(** The lower-bound adversary (Theorem 2, Lemmas 13-15), played with crash
+    faults only — the weakest faults the bound covers. Each round, after the
+    local phase (so it has seen the fresh coins), it
+
+    + reads every live undecided process's candidate bit and computes the
+      imbalance d = #ones - #zeros;
+    + crashes |d| holders of the majority value — coin-flippers first: this
+      is the per-round coin-flipping game of Lemma 12, hiding the drifted
+      coins at a cost of ~sqrt(k log n) crashes when k processes flipped;
+    + crashes one more process *mid-round*, delivering its (majority) vote
+      to only half of the survivors: the two halves now compute opposite
+      majorities, so deterministic tie-breaking cannot unify them — Lemma
+      15's "+1" process per round that keeps the execution bivalent even
+      with zero randomness.
+
+    The budget therefore drains at ~(sqrt(k log n) + 1) per round, forcing
+    T x (R + T) = Omega(t^2 / log n) before the adversary runs dry. *)
+let vote_splitter ?(slack = 0) () =
+  {
+    Sim.Adversary_intf.name = "vote-splitter";
+    create =
+      (fun cfg _rand ->
+        let crashed = Hashtbl.create 16 in
+        fun view ->
+          let c = [| 0; 0 |] in
+          let holders = [| []; [] |] in
+          let live = ref [] in
+          Array.iter
+            (fun o ->
+              let pid = o.Sim.View.pid in
+              if
+                (not view.Sim.View.faulty.(pid))
+                && not (Hashtbl.mem crashed pid)
+              then
+                match (o.core.candidate, o.core.decided) with
+                | Some b, None ->
+                    c.(b) <- c.(b) + 1;
+                    holders.(b) <- (o.used_randomness, pid) :: holders.(b);
+                    live := pid :: !live
+                | _ -> ())
+            view.obs;
+          let d = c.(1) - c.(0) in
+          let side = if d >= 0 then 1 else 0 in
+          let budget = ref (cfg.Sim.Config.t_max - view.faults_used) in
+          let kills = min !budget (max 0 (abs d - slack)) in
+          let candidates =
+            (* coin-flippers first (fresh randomness is what the coin-game
+               adversary hides), then by pid for determinism *)
+            List.sort
+              (fun (r1, p1) (r2, p2) ->
+                match (r1, r2) with
+                | true, false -> -1
+                | false, true -> 1
+                | _ -> compare p1 p2)
+              holders.(side)
+          in
+          let victims = List.map snd (take kills candidates) in
+          budget := !budget - List.length victims;
+          List.iter (fun pid -> Hashtbl.replace crashed pid ()) victims;
+          (* Lemma 15 split: only meaningful when the kills reached exact
+             balance; the splitter must hold the tie-breaking value 1. *)
+          let balanced = abs d - List.length victims = 0 in
+          let splitter =
+            if (not balanced) || !budget < 1 then None
+            else
+              List.find_opt
+                (fun pid ->
+                  (not (Hashtbl.mem crashed pid))
+                  && List.exists (fun (_, q) -> q = pid) holders.(1))
+                (List.sort compare !live)
+          in
+          match splitter with
+          | None ->
+              {
+                Sim.View.new_faults = victims;
+                omit = (fun src _ -> Hashtbl.mem crashed src);
+              }
+          | Some v ->
+              (* deliver v's vote to the second half of the survivors only,
+                 then silence v forever (a crash in the sending round) *)
+              let survivors =
+                List.filter
+                  (fun pid -> pid <> v && not (Hashtbl.mem crashed pid))
+                  (List.sort compare !live)
+              in
+              let h_size = (List.length survivors + 1) / 2 in
+              let hidden_from = Hashtbl.create 16 in
+              List.iteri
+                (fun i pid ->
+                  if i < h_size then Hashtbl.replace hidden_from pid ())
+                survivors;
+              (* v joins [crashed] for future rounds, but this round it
+                 still delivers to the non-hidden half *)
+              let plan_omit src dst =
+                if src = v then Hashtbl.mem hidden_from dst
+                else Hashtbl.mem crashed src
+              in
+              Hashtbl.replace crashed v ();
+              {
+                Sim.View.new_faults = v :: victims;
+                omit = plan_omit;
+              });
+  }
+
+(** Crash a fixed number of random live processes every round until the
+    budget runs out — the blunt staggered-crash stresser. *)
+let staggered_crash ~per_round =
+  {
+    Sim.Adversary_intf.name = Printf.sprintf "staggered-crash(%d)" per_round;
+    create =
+      (fun cfg rand ->
+        let crashed = Hashtbl.create 16 in
+        fun view ->
+          let budget = cfg.Sim.Config.t_max - view.Sim.View.faults_used in
+          let live = ref [] in
+          for pid = cfg.Sim.Config.n - 1 downto 0 do
+            if (not view.faulty.(pid)) && not (Hashtbl.mem crashed pid) then
+              live := pid :: !live
+          done;
+          let live = Array.of_list !live in
+          Sim.Rand.shuffle rand live;
+          let k = min (min per_round budget) (Array.length live) in
+          let victims = Array.to_list (Array.sub live 0 k) in
+          crash_set_plan crashed victims);
+  }
+
+(** All strategies exercised by the integration test grid, with feasible
+    defaults. *)
+let standard_suite ~n =
+  let s = int_of_float (ceil (sqrt (float_of_int n))) in
+  [
+    none;
+    crash_schedule [ (1, [ 0 ]); (3, [ 1; 2 ]) ];
+    random_omission ~p_omit:0.5;
+    random_omission ~p_omit:1.0;
+    group_killer ();
+    vote_splitter ();
+    staggered_crash ~per_round:(max 1 (s / 2));
+  ]
+
+(** Chaos monkey: each round, with probability [corrupt_rate], corrupt one
+    random live process (while budget lasts), and omit every message at a
+    faulty endpoint independently with probability [omit_rate]. Driven by
+    the adversary's private seed — the random-exploration strategy the
+    property-based tests sweep. *)
+let chaotic ?(corrupt_rate = 0.3) ?(omit_rate = 0.5) () =
+  {
+    Sim.Adversary_intf.name = "chaotic";
+    create =
+      (fun cfg rand ->
+        let faulty_set = Hashtbl.create 16 in
+        fun view ->
+          let new_faults =
+            if
+              view.Sim.View.faults_used < cfg.Sim.Config.t_max
+              && Sim.Rand.float rand < corrupt_rate
+            then begin
+              let live = ref [] in
+              for pid = cfg.Sim.Config.n - 1 downto 0 do
+                if not view.faulty.(pid) then live := pid :: !live
+              done;
+              match !live with
+              | [] -> []
+              | l ->
+                  let arr = Array.of_list l in
+                  let victim = arr.(Sim.Rand.int_below rand (Array.length arr)) in
+                  Hashtbl.replace faulty_set victim ();
+                  [ victim ]
+            end
+            else []
+          in
+          {
+            Sim.View.new_faults;
+            omit =
+              (fun src dst ->
+                (Hashtbl.mem faulty_set src || Hashtbl.mem faulty_set dst)
+                && Sim.Rand.float rand < omit_rate);
+          });
+  }

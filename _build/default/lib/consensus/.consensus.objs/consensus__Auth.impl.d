@@ -1,0 +1,1 @@
+lib/consensus/auth.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/consensus/bjbo.ml: Array List Sim

@@ -1,0 +1,1 @@
+lib/consensus/core.ml: Array Expander Groups Hashtbl Int64 List Params Voting

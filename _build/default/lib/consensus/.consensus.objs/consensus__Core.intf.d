@@ -1,0 +1,1 @@
+lib/consensus/core.mli: Expander Groups Hashtbl Params Sim

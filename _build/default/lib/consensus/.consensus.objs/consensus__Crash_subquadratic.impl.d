@@ -1,0 +1,1 @@
+lib/consensus/crash_subquadratic.ml: Array Core Expander Hashtbl List Params Phase_king Sim

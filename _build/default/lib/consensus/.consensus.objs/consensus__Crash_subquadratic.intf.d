@@ -1,0 +1,1 @@
+lib/consensus/crash_subquadratic.mli: Params Sim

@@ -1,0 +1,1 @@
+lib/consensus/dolev_strong.ml: Array Auth Hashtbl List Sim

@@ -1,0 +1,1 @@
+lib/consensus/dolev_strong.mli: Sim

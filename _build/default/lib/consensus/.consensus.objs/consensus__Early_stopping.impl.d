@@ -1,0 +1,1 @@
+lib/consensus/early_stopping.ml: Int List Set Sim

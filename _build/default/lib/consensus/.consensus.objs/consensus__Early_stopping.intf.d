@@ -1,0 +1,1 @@
+lib/consensus/early_stopping.mli: Sim

@@ -1,0 +1,1 @@
+lib/consensus/operative_broadcast.ml: Array Expander Hashtbl Int64 List Params Printf Sim

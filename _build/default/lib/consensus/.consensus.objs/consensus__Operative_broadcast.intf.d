@@ -1,0 +1,1 @@
+lib/consensus/operative_broadcast.mli: Params Sim

@@ -1,0 +1,1 @@
+lib/consensus/optimal_omissions.ml: Array Core List Params Phase_king Sim

@@ -1,0 +1,1 @@
+lib/consensus/optimal_omissions.mli: Core Params Sim

@@ -1,0 +1,1 @@
+lib/consensus/param_omissions.ml: Array Core Expander Groups Hashtbl Int64 List Params Phase_king Printf Sim Voting

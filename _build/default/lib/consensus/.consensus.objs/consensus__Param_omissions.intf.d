@@ -1,0 +1,1 @@
+lib/consensus/param_omissions.mli: Params Sim

@@ -1,0 +1,1 @@
+lib/consensus/phase_king.ml: Array List

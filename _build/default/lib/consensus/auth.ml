@@ -1,0 +1,48 @@
+(** Simulated authentication for Dolev-Strong: unforgeable signature chains.
+
+    The model has no PKI — the paper's fallback reference [15] assumes one,
+    which is why our in-protocol fallback is phase-king instead (DESIGN.md,
+    substitution 3). For the *baseline comparison* we still reproduce
+    Dolev-Strong faithfully by simulating the setup: a {!signature} can only
+    be created through {!sign}, so within the simulation signatures are
+    unforgeable by construction (module abstraction plays the role of the
+    cryptography). Omission-faulty processes follow the protocol anyway;
+    the abstraction is what would keep a Byzantine implementation honest. *)
+
+type signature = { signer : int; digest : int }
+
+(* The digest binds the signer, the payload and the entire chain prefix,
+   like a real chained signature. Hashtbl.hash stands in for a collision-
+   resistant hash; adequate inside a simulation. *)
+let digest_of ~signer ~payload ~prefix =
+  Hashtbl.hash (signer, payload, List.map (fun s -> (s.signer, s.digest)) prefix)
+
+(** [sign ~signer ~payload ~chain] appends [signer]'s signature over
+    [payload] and the existing [chain]. *)
+let sign ~signer ~payload ~chain =
+  { signer; digest = digest_of ~signer ~payload ~prefix:chain } :: chain
+
+let signer s = s.signer
+
+(** A chain is valid for [payload] if every link's digest checks out over
+    its suffix and all signers are distinct. Chains are stored newest
+    first; the original sender's signature is the last element. *)
+let valid_chain ~payload chain =
+  let rec go seen = function
+    | [] -> true
+    | s :: rest ->
+        (not (List.mem s.signer seen))
+        && s.digest = digest_of ~signer:s.signer ~payload ~prefix:rest
+        && go (s.signer :: seen) rest
+  in
+  go [] chain
+
+let origin chain =
+  match List.rev chain with [] -> None | s :: _ -> Some s.signer
+
+let length = List.length
+
+(** Wire size: a real deployment would carry ~256 bits per signature; we
+    charge a symbolic constant so message-complexity *shapes* stay honest
+    relative to the paper's O(log n)-bit accounting. *)
+let bits chain = 8 * List.length chain

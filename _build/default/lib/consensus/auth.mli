@@ -1,0 +1,23 @@
+(** Simulated authentication for Dolev-Strong: signature chains that are
+    unforgeable *by module abstraction* — a {!signature} can only come from
+    {!sign}, playing the role of the PKI the paper's reference [15]
+    assumes. *)
+
+type signature
+
+val sign : signer:int -> payload:int -> chain:signature list -> signature list
+(** Append [signer]'s signature over [payload] and the existing chain.
+    Chains are newest-first; the origin's signature is last. *)
+
+val signer : signature -> int
+
+val valid_chain : payload:int -> signature list -> bool
+(** Every link checks out over its suffix and all signers are distinct. *)
+
+val origin : signature list -> int option
+(** The first signer (chain creator), if any. *)
+
+val length : signature list -> int
+
+val bits : signature list -> int
+(** Symbolic wire size charged per signature. *)

@@ -1,0 +1,99 @@
+(** Early-stopping consensus for the crash model — the classic
+    early-deciding algorithm the paper's related-work section contrasts
+    with ([33, 34] study the omission-model variants; the crash version is
+    the textbook one and serves as the adaptive-runtime baseline).
+
+    Every round each live undecided process broadcasts its current minimum.
+    A process decides at the first round in which its heard-from set did
+    not shrink (a *clean* round: no failure newly visible to it), or at
+    round t+2 at the latest. Each dirty round witnesses at least one fresh
+    crash, so a run with f actual crashes decides in at most f+2 rounds —
+    O(f) adaptive, against the fixed t+1 of flooding. A clean round also
+    guarantees the local minimum is stable: any smaller value still in
+    flight would have to travel through a crashing process, whose crash
+    either delivered it here too or shrank the heard set.
+
+    Deciders announce once ([final]); receivers adopt. Crash-model
+    guarantees only (tests run it under crash adversaries). *)
+
+type msg = Val of { v : int; final : bool }
+
+module Int_set = Set.Make (Int)
+
+type state = {
+  pid : int;
+  n : int;
+  t_max : int;
+  mutable v : int;
+  mutable heard_prev : Int_set.t option;  (** heard-from set, last round *)
+  mutable decided : int option;
+  mutable announced : bool;
+}
+
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  let module M = struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "early-stopping"
+
+    let init (cfg : Sim.Config.t) ~pid ~input =
+      {
+        pid;
+        n = cfg.n;
+        t_max = cfg.t_max;
+        v = input;
+        heard_prev = None;
+        decided = None;
+        announced = false;
+      }
+
+    let broadcast st m =
+      let out = ref [] in
+      for dst = st.n - 1 downto 0 do
+        if dst <> st.pid then out := (dst, m) :: !out
+      done;
+      !out
+
+    let process st ~round ~inbox =
+      let final =
+        List.fold_left
+          (fun acc (_, Val { v; final }) ->
+            match acc with None when final -> Some v | _ -> acc)
+          None inbox
+      in
+      match final with
+      | Some v ->
+          st.v <- v;
+          st.decided <- Some v
+      | None ->
+          let heard = ref (Int_set.singleton st.pid) in
+          List.iter
+            (fun (src, Val { v; _ }) ->
+              heard := Int_set.add src !heard;
+              if v < st.v then st.v <- v)
+            inbox;
+          let clean =
+            match st.heard_prev with
+            | Some prev -> Int_set.subset prev !heard
+            | None -> false
+          in
+          st.heard_prev <- Some !heard;
+          if clean || round > st.t_max + 2 then st.decided <- Some st.v
+
+    let step _cfg st ~round ~inbox ~rand:_ =
+      if round > 1 && st.decided = None then process st ~round ~inbox;
+      match st.decided with
+      | Some v when not st.announced ->
+          st.announced <- true;
+          (st, broadcast st (Val { v; final = true }))
+      | Some _ -> (st, [])
+      | None -> (st, broadcast st (Val { v = st.v; final = false }))
+
+    let observe st =
+      { Sim.View.candidate = Some st.v; operative = true; decided = st.decided }
+
+    let msg_bits (Val _) = 3
+    let msg_hint (Val { v; _ }) = Some v
+  end in
+  (module M)

@@ -1,0 +1,83 @@
+(** Classic deterministic flooding consensus for the crash model: t+1
+    rounds of broadcasting the set of input values seen so far, then decide
+    on the minimum.
+
+    Baseline only. It is the textbook crash-tolerant algorithm (O(t) rounds,
+    O(n^2 t) bits) used here as the deterministic comparator for the
+    message-complexity row of Table 1 ([1]'s Omega(t^2) bound). Under
+    *general omission* faults its validity condition (as the paper states
+    it) does not hold — a faulty process can input a minority value late —
+    which is exactly why the paper's algorithms are built differently; tests
+    exercise it under crash adversaries only. *)
+
+type msg = Values of { zero : bool; one : bool }
+
+type state = {
+  pid : int;
+  n : int;
+  rounds : int;  (** t_max + 1 *)
+  mutable zero : bool;
+  mutable one : bool;
+  mutable sent_zero : bool;
+  mutable sent_one : bool;
+  mutable decided : int option;
+}
+
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  let module M = struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "flood-min"
+
+    let init (cfg : Sim.Config.t) ~pid ~input =
+      {
+        pid;
+        n = cfg.n;
+        rounds = cfg.t_max + 1;
+        zero = input = 0;
+        one = input = 1;
+        sent_zero = false;
+        sent_one = false;
+        decided = None;
+      }
+
+    let step _cfg st ~round ~inbox ~rand:_ =
+      List.iter
+        (fun (_, Values { zero; one }) ->
+          if zero then st.zero <- true;
+          if one then st.one <- true)
+        inbox;
+      if round > st.rounds then begin
+        if st.decided = None then
+          st.decided <- Some (if st.zero then 0 else 1);
+        (st, [])
+      end
+      else begin
+        (* flood only newly learned values: O(1) amortized per link *)
+        let zero = st.zero && not st.sent_zero in
+        let one = st.one && not st.sent_one in
+        if zero then st.sent_zero <- true;
+        if one then st.sent_one <- true;
+        if zero || one then begin
+          let out = ref [] in
+          for dst = st.n - 1 downto 0 do
+            if dst <> st.pid then out := (dst, Values { zero; one }) :: !out
+          done;
+          (st, !out)
+        end
+        else (st, [])
+      end
+
+    let observe st =
+      {
+        Sim.View.candidate =
+          Some (if st.zero then 0 else if st.one then 1 else 0);
+        operative = true;
+        decided = st.decided;
+      }
+
+    let msg_bits (Values _) = 2
+    let msg_hint (Values { zero; _ }) = Some (if zero then 0 else 1)
+  end in
+  (module M)

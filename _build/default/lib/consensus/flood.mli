@@ -1,0 +1,10 @@
+(** Classic deterministic flooding consensus for the crash model: t+1
+    rounds of value-set flooding, decide the minimum. Baseline for the
+    Omega(t^2)-messages row of Table 1 only — its validity condition does
+    not hold under general omissions (see the module implementation notes),
+    so tests exercise it under crash adversaries. *)
+
+type state
+type msg
+
+val protocol : Sim.Config.t -> Sim.Protocol_intf.t

@@ -1,0 +1,155 @@
+(** OptimalOmissionsConsensus — Algorithm 1 of the paper (Theorem 1 /
+    Theorem 5): the voting {!Core} over all n processes, followed by the
+    decision broadcast (lines 14-16) and, for the polynomially-unlikely
+    undecided residue, the deterministic fallback (line 18, here
+    {!Phase_king} — see DESIGN.md, substitution 3).
+
+    Global round layout (V = [Core.rounds], P = [Phase_king.rounds]):
+    - rounds 1..V: the voting core (epochs + the line-14 broadcast slot);
+    - round V+1: consume the broadcast (lines 15-16) and decide, or start
+      the fallback as an operative undecided participant;
+    - rounds V+1 .. V+P: phase-king among operative undecided processes;
+    - round V+P+1: fallback participants fix their decision and broadcast
+      it (line 18); idle processes decide on any received decision
+      (line 19). *)
+
+type phase =
+  | Voting of Core.t
+  | Fallback of { core : Core.t; pk : Phase_king.t }
+  | Waiting of { core : Core.t }  (** line 19: idle until a decision arrives *)
+  | Done of { core : Core.t; value : int }
+
+type state = { phase : phase; pid : int }
+
+type msg = Core_msg of Core.msg | Pk_msg of Phase_king.msg | Decided of int
+
+let core_of = function
+  | Voting c | Fallback { core = c; _ } | Waiting { core = c } | Done { core = c; _ } -> c
+
+(** Build the protocol for a given configuration. The shared structures
+    (partition, expander, schedule) are computed once here — they are pure
+    functions of (n, seed, params), which is how all processes agree on them
+    without communication. *)
+let protocol ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.t =
+  let members = Array.init cfg.Sim.Config.n (fun i -> i) in
+  let shared =
+    Core.make_shared ?vote_log ~members ~seed:cfg.Sim.Config.seed ~params
+      ~t_max:cfg.Sim.Config.t_max ()
+  in
+  let core_rounds = Core.rounds shared in
+  let pk_rounds = Phase_king.rounds ~t_max:cfg.Sim.Config.t_max in
+  let module M = struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "optimal-omissions"
+
+    let init _cfg ~pid ~input =
+      { phase = Voting (Core.create shared ~pid ~input); pid }
+
+    let core_inbox inbox =
+      List.filter_map
+        (fun (src, m) ->
+          match m with Core_msg cm -> Some (src, cm) | Pk_msg _ | Decided _ -> None)
+        inbox
+
+    let pk_inbox inbox =
+      List.filter_map
+        (fun (src, m) ->
+          match m with Pk_msg pm -> Some (src, pm) | Core_msg _ | Decided _ -> None)
+        inbox
+
+    let decided_inbox inbox =
+      List.fold_left
+        (fun acc (_, m) ->
+          match (acc, m) with
+          | None, Decided v -> Some v
+          | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc)
+        None inbox
+
+    let broadcast st m =
+      let out = ref [] in
+      for dst = cfg.Sim.Config.n - 1 downto 0 do
+        if dst <> st.pid then out := (dst, m) :: !out
+      done;
+      !out
+
+    let step _cfg st ~round ~inbox ~rand =
+      match st.phase with
+      | Done _ -> (st, [])
+      | Voting core when round <= core_rounds ->
+          let msgs = Core.step core ~slot:round ~inbox:(core_inbox inbox) ~rand in
+          (st, List.map (fun (dst, m) -> (dst, Core_msg m)) msgs)
+      | Voting core ->
+          (* round = core_rounds + 1: lines 15-16 *)
+          Core.finalize core ~inbox:(core_inbox inbox);
+          (match Core.line16_decision core with
+          | Some v -> ({ st with phase = Done { core; value = v } }, [])
+          | None ->
+              if Core.operative core then begin
+                let pk =
+                  Phase_king.create ~n:cfg.Sim.Config.n
+                    ~t_max:cfg.Sim.Config.t_max ~pid:st.pid
+                    ~participating:true ~input:(Core.candidate core)
+                in
+                let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
+                ( { st with phase = Fallback { core; pk } },
+                  List.map (fun (dst, m) -> (dst, Pk_msg m)) out )
+              end
+              else ({ st with phase = Waiting { core } }, []))
+      | Fallback { core; pk } ->
+          let local_round = round - core_rounds - 1 in
+          if local_round <= pk_rounds - 1 then begin
+            let pk, out =
+              Phase_king.step pk ~local_round:(local_round + 1)
+                ~inbox:(pk_inbox inbox)
+            in
+            ( { st with phase = Fallback { core; pk } },
+              List.map (fun (dst, m) -> (dst, Pk_msg m)) out )
+          end
+          else begin
+            (* line 18: agreement reached; broadcast and decide *)
+            let pk = Phase_king.finalize pk ~inbox:(pk_inbox inbox) in
+            match Phase_king.decision pk with
+            | Some v ->
+                ( { st with phase = Done { core; value = v } },
+                  broadcast st (Decided v) )
+            | None -> (st, [])
+          end
+      | Waiting { core } -> (
+          (* line 19: adopt any decision that reaches us *)
+          match decided_inbox inbox with
+          | Some v -> ({ st with phase = Done { core; value = v } }, [])
+          | None -> (st, []))
+
+    let observe st =
+      let core = core_of st.phase in
+      {
+        Sim.View.candidate = Some (Core.candidate core);
+        operative = Core.operative core;
+        decided =
+          (match st.phase with Done { value; _ } -> Some value | _ -> None);
+      }
+
+    let msg_bits = function
+      | Core_msg m -> Core.msg_bits shared m
+      | Pk_msg m -> Phase_king.msg_bits m
+      | Decided _ -> 2
+
+    let msg_hint = function
+      | Core_msg m -> Core.msg_hint m
+      | Pk_msg (Phase_king.Value v) | Pk_msg (Phase_king.King v) -> Some v
+      | Decided v -> Some v
+  end in
+  (module M)
+
+(** Rounds the full schedule can occupy (voting + fallback), for sizing
+    [Config.max_rounds]. *)
+let rounds_needed ?(params = Params.default) (cfg : Sim.Config.t) =
+  let members = Array.init cfg.Sim.Config.n (fun i -> i) in
+  let shared =
+    Core.make_shared ~members ~seed:cfg.Sim.Config.seed ~params
+      ~t_max:cfg.Sim.Config.t_max ()
+  in
+  Core.rounds shared + Phase_king.rounds ~t_max:cfg.Sim.Config.t_max + 4

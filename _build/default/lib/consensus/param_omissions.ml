@@ -1,0 +1,365 @@
+(** ParamOmissions — Algorithm 4 of the paper (Theorem 3 / Theorem 8): the
+    randomness-for-time trade-off.
+
+    The n processes are split into x super-processes SP_1..SP_x of size
+    ceil(n/x). In x round-robin phases, the members of SP_i run the
+    truncated voting {!Core} (OptimalOmissionsConsensus up to line 16) among
+    themselves; a member that obtained a decision floods it for
+    2 ceil(log2 n) rounds over the global expander; every operative process
+    that receives a flooded decision adopts it as its input for all later
+    phases. A run on a *reliable* super-process (at most 1/30 of its members
+    faulty, at least one member operative) pins the whole operative set to
+    one value, after which no later sub-run can diverge (validity of the
+    core). The safety rule of lines 15-30 — one counting exchange with the
+    18/30 / 15/30 / 27/30 / 3/30 thresholds, then a decision broadcast —
+    turns that whp-agreement into probability-1 agreement, falling back to
+    the deterministic {!Phase_king} in the polynomially-unlikely residue.
+
+    Randomness: only the sub-runs flip coins — x runs of size n/x cost
+    ~x (n/x)^{3/2} = n^2 / T random bits at T ~ sqrt(n x) rounds, the
+    trade-off curve of Table 1, row Thm 3. *)
+
+type msg =
+  | Sub of int * Core.msg  (** phase index, sub-run message *)
+  | Flood of int option  (** flooded consensus decision; None = heartbeat *)
+  | Safety_vote of int
+  | Safety_final of int
+  | Pk_msg of Phase_king.msg
+  | Decided of int
+
+type state = {
+  pid : int;
+  my_phase : int;  (** index of the super-process containing [pid] *)
+  core : Core.t;  (** sub-run instance, stepped only during [my_phase] *)
+  mutable consensus_decision : int option;
+  mutable b : int;
+  mutable operative : bool;
+  disregarded : (int, unit) Hashtbl.t;
+  mutable decided_flag : bool;
+  mutable got_final : bool;
+  mutable pk : Phase_king.t option;
+  mutable decision : int option;
+}
+
+let log2_ceil = Params.log2_ceil
+
+type plan = {
+  x : int;
+  sub_shared : Core.shared array;
+  core_len : int array;
+  phase_core_len : int;
+  flood_rounds : int;
+  phase_len : int;
+  graph : Expander.t;
+  op_threshold : int;
+  pk_rounds : int;
+  safety_start : int;  (** global round of the safety-vote emission *)
+  sps : Groups.t;
+}
+
+let make_plan ~params (cfg : Sim.Config.t) ~x =
+  let n = cfg.Sim.Config.n in
+  let members = Array.init n (fun i -> i) in
+  let sps = Groups.partition_into members x in
+  let x = Groups.group_count sps in
+  let sub_shared =
+    Array.init x (fun i ->
+        let sp = Groups.group sps i in
+        Core.make_shared ~members:sp
+          ~seed:(cfg.Sim.Config.seed + (1000003 * (i + 1)))
+          ~params
+          ~t_max:(max 1 (Array.length sp / 30))
+          ())
+  in
+  let core_len = Array.map Core.rounds sub_shared in
+  let phase_core_len = Array.fold_left max 0 core_len in
+  let flood_rounds = 2 * log2_ceil n in
+  let phase_len = phase_core_len + flood_rounds in
+  let delta = Params.delta params ~n in
+  let graph =
+    Expander.create_good ~attempts:params.Params.graph_attempts ~n ~delta
+      ~seed:(Int64.of_int (cfg.Sim.Config.seed + 0xF100D)) ()
+  in
+  {
+    x;
+    sub_shared;
+    core_len;
+    phase_core_len;
+    flood_rounds;
+    phase_len;
+    graph;
+    op_threshold = Expander.delta graph / 3;
+    pk_rounds = Phase_king.rounds ~t_max:cfg.Sim.Config.t_max;
+    safety_start = (x * phase_len) + 1;
+    sps;
+  }
+
+let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.t =
+  let p = make_plan ~params cfg ~x in
+  let n = cfg.Sim.Config.n in
+  let module M = struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = Printf.sprintf "param-omissions(x=%d)" p.x
+
+    let init _cfg ~pid ~input =
+      let my_phase = Groups.group_of p.sps pid in
+      {
+        pid;
+        my_phase;
+        core = Core.create p.sub_shared.(my_phase) ~pid ~input;
+        consensus_decision = None;
+        b = input;
+        operative = true;
+        disregarded = Hashtbl.create 8;
+        decided_flag = false;
+        got_final = false;
+        pk = None;
+        decision = None;
+      }
+
+    let broadcast st m =
+      let out = ref [] in
+      for dst = n - 1 downto 0 do
+        if dst <> st.pid then out := (dst, m) :: !out
+      done;
+      !out
+
+    let sub_inbox ~phase inbox =
+      List.filter_map
+        (fun (src, m) ->
+          match m with
+          | Sub (i, cm) when i = phase -> Some (src, cm)
+          | Sub _ | Flood _ | Safety_vote _ | Safety_final _ | Pk_msg _
+          | Decided _ ->
+              None)
+        inbox
+
+    let pk_inbox inbox =
+      List.filter_map
+        (fun (src, m) ->
+          match m with Pk_msg pm -> Some (src, pm) | _ -> None)
+        inbox
+
+    (* Flood-round inbox processing: adopt the first flooded decision,
+       disregard silent neighbors, drop to inoperative below Delta/3
+       (lines 9-12 of Algorithm 4). *)
+    let process_flood st ~inbox =
+      if st.operative then begin
+        let received = Hashtbl.create 16 in
+        List.iter
+          (fun (src, m) ->
+            match m with
+            | Flood d ->
+                if
+                  Expander.mem_edge p.graph st.pid src
+                  && not (Hashtbl.mem st.disregarded src)
+                then begin
+                  Hashtbl.replace received src ();
+                  match (st.consensus_decision, d) with
+                  | None, Some v -> st.consensus_decision <- Some v
+                  | _ -> ()
+                end
+            | Sub _ | Safety_vote _ | Safety_final _ | Pk_msg _ | Decided _
+              ->
+                ())
+          inbox;
+        Array.iter
+          (fun q ->
+            if
+              (not (Hashtbl.mem st.disregarded q))
+              && not (Hashtbl.mem received q)
+            then Hashtbl.replace st.disregarded q ())
+          (Expander.neighbors p.graph st.pid);
+        if Hashtbl.length received < p.op_threshold then
+          st.operative <- false
+      end
+
+    let flood_emission st =
+      if not st.operative then []
+      else
+        Array.fold_left
+          (fun acc q ->
+            if Hashtbl.mem st.disregarded q then acc
+            else (q, Flood st.consensus_decision) :: acc)
+          []
+          (Expander.neighbors p.graph st.pid)
+
+    (* Line 13: adopt the flooded decision as the candidate for the next
+       phase; reset the per-phase flood slate. *)
+    let end_of_phase st =
+      (match st.consensus_decision with
+      | Some v -> st.b <- v
+      | None -> ());
+      st.consensus_decision <- None
+
+    (* Truncated sub-run finalize (the paper's "terminated at line 16"):
+       keep the value only if the sub-run actually produced a decision. *)
+    let finalize_sub st ~inbox =
+      Core.finalize st.core ~inbox:(sub_inbox ~phase:st.my_phase inbox);
+      if Core.decided_flag st.core || Core.got_decision st.core then begin
+        st.b <- Core.candidate st.core;
+        st.consensus_decision <- Some st.b
+      end
+      else st.consensus_decision <- None
+
+    (* Lines 18-22: one all-to-all counting exchange with the Algorithm 1
+       thresholds, deterministic in the middle window. *)
+    let process_safety_votes st ~inbox =
+      if st.operative then begin
+        let c = [| 0; 0 |] in
+        c.(st.b) <- 1;
+        List.iter
+          (fun (_, m) ->
+            match m with
+            | Safety_vote v -> c.(v) <- c.(v) + 1
+            | Sub _ | Flood _ | Safety_final _ | Pk_msg _ | Decided _ -> ())
+          inbox;
+        st.b <- Voting.update_deterministic ~ones:c.(1) ~zeros:c.(0) ~current:st.b;
+        if Voting.ready ~ones:c.(1) ~zeros:c.(0) then st.decided_flag <- true
+      end
+
+    let process_safety_final st ~inbox =
+      if not (st.operative && st.decided_flag) then begin
+        let adopted =
+          List.fold_left
+            (fun acc (_, m) ->
+              match (acc, m) with
+              | None, Safety_final v -> Some v
+              | _ -> acc)
+            None inbox
+        in
+        match adopted with
+        | Some v ->
+            st.b <- v;
+            st.got_final <- true
+        | None -> ()
+      end
+      else st.got_final <- true
+
+    let adopt_decided st ~inbox =
+      List.iter
+        (fun (_, m) ->
+          match m with
+          | Decided v when st.decision = None -> st.decision <- Some v
+          | Decided _ | Sub _ | Flood _ | Safety_vote _ | Safety_final _
+          | Pk_msg _ ->
+              ())
+        inbox
+
+    let step _cfg st ~round ~inbox ~rand =
+      if st.decision <> None then (st, [])
+      else if round < p.safety_start then begin
+        (* round-robin stage: phase-local slots 1..phase_len; the core runs
+           in slots 1..core_len for the phase's super-process, flooding in
+           the last flood_rounds slots *)
+        let phase = (round - 1) / p.phase_len in
+        let ls = round - (phase * p.phase_len) in
+        let in_my_phase = phase = st.my_phase && st.operative in
+        let cl = p.core_len.(st.my_phase) in
+        (* entry processing (consume slot ls-1's messages) *)
+        if ls = 1 then begin
+          if phase > 0 then begin
+            process_flood st ~inbox;
+            end_of_phase st
+          end;
+          (* sub-runs start from the value adopted in earlier phases *)
+          if in_my_phase then Core.set_candidate st.core st.b
+        end
+        else if in_my_phase && ls = cl + 1 then finalize_sub st ~inbox
+        else if ls > p.phase_core_len + 1 then process_flood st ~inbox;
+        (* emission *)
+        if in_my_phase && ls <= cl then begin
+          let out =
+            Core.step st.core ~slot:ls ~inbox:(sub_inbox ~phase inbox) ~rand
+          in
+          (st, List.map (fun (dst, m) -> (dst, Sub (phase, m))) out)
+        end
+        else if ls > p.phase_core_len then (st, flood_emission st)
+        else (st, [])
+      end
+      else begin
+        let s = round - p.safety_start in
+        if s = 0 then begin
+          (* entry: close the last phase; emission: safety vote (line 17) *)
+          process_flood st ~inbox;
+          end_of_phase st;
+          if st.operative then (st, broadcast st (Safety_vote st.b))
+          else (st, [])
+        end
+        else if s = 1 then begin
+          process_safety_votes st ~inbox;
+          if st.operative && st.decided_flag then
+            (st, broadcast st (Safety_final st.b))
+          else (st, [])
+        end
+        else if s = 2 then begin
+          process_safety_final st ~inbox;
+          if st.decided_flag || ((not st.operative) && st.got_final) then begin
+            st.decision <- Some st.b;
+            (st, [])
+          end
+          else if st.operative then begin
+            (* line 28: deterministic fallback among operative undecided *)
+            let pk =
+              Phase_king.create ~n ~t_max:cfg.Sim.Config.t_max ~pid:st.pid
+                ~participating:true ~input:st.b
+            in
+            let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
+            st.pk <- Some pk;
+            (st, List.map (fun (dst, m) -> (dst, Pk_msg m)) out)
+          end
+          else (st, [])
+        end
+        else begin
+          match st.pk with
+          | Some pk when s <= p.pk_rounds + 1 ->
+              let pk, out =
+                Phase_king.step pk ~local_round:(s - 1)
+                  ~inbox:(pk_inbox inbox)
+              in
+              st.pk <- Some pk;
+              (st, List.map (fun (dst, m) -> (dst, Pk_msg m)) out)
+          | Some pk when s = p.pk_rounds + 2 -> (
+              let pk = Phase_king.finalize pk ~inbox:(pk_inbox inbox) in
+              st.pk <- Some pk;
+              match Phase_king.decision pk with
+              | Some v ->
+                  st.decision <- Some v;
+                  (st, broadcast st (Decided v))
+              | None -> (st, []))
+          | Some _ | None ->
+              adopt_decided st ~inbox;
+              (st, [])
+        end
+      end
+
+    let observe st =
+      {
+        Sim.View.candidate = Some st.b;
+        operative = st.operative;
+        decided = st.decision;
+      }
+
+    let msg_bits = function
+      | Sub (_, m) -> 2 + Core.msg_bits p.sub_shared.(0) m
+      | Flood _ -> 2
+      | Safety_vote _ -> 2
+      | Safety_final _ -> 2
+      | Pk_msg m -> Phase_king.msg_bits m
+      | Decided _ -> 2
+
+    let msg_hint = function
+      | Sub (_, m) -> Core.msg_hint m
+      | Flood d -> d
+      | Safety_vote v | Safety_final v | Decided v -> Some v
+      | Pk_msg (Phase_king.Value v) | Pk_msg (Phase_king.King v) -> Some v
+  end in
+  (module M)
+
+(** Total schedule length, for sizing [Config.max_rounds]. *)
+let rounds_needed ?(params = Params.default) ~x (cfg : Sim.Config.t) =
+  let p = make_plan ~params cfg ~x in
+  p.safety_start + 2 + p.pk_rounds + 4

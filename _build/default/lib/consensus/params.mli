@@ -1,0 +1,29 @@
+(** Tunable constants of the paper's algorithms (DESIGN.md, substitution 1:
+    every Theta(.) shape of the paper is kept; the constants are scaled to
+    simulation sizes and the properties the proofs need are verified
+    instead). *)
+
+type epochs_spec =
+  | Auto of float
+      (** [Auto f]: ceil(f * max(1, t / sqrt n) * log2 n) + 4 epochs — the
+          paper's (t / sqrt n) log n shape with a small-n cushion (one
+          extra epoch must observe unanimity before the decided flag can
+          arm). *)
+  | Fixed of int
+
+type t = {
+  delta_c : int;  (** expander expected degree = delta_c * ceil(log2 n) *)
+  spread_c : int;  (** spreading rounds = spread_c * ceil(log2 n) *)
+  epochs : epochs_spec;
+  graph_attempts : int;  (** resampling attempts for a Theorem-4 graph *)
+}
+
+val default : t
+(** delta_c = 8, spread_c = 1, Auto 1.0, 30 attempts. *)
+
+val log2_ceil : int -> int
+(** ceil(log2 n), at least 1. *)
+
+val delta : t -> n:int -> int
+val spread_rounds : t -> n:int -> int
+val epoch_count : t -> n:int -> t_max:int -> int

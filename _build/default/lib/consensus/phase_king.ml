@@ -1,0 +1,129 @@
+(** Deterministic omission-tolerant consensus — the fallback the paper
+    invokes as "[15], Theorem 4" (Dolev-Strong). Dolev-Strong needs an
+    authenticated setup the omission model does not provide, so we use a
+    phase-king variant with the same interface the paper relies on:
+    deterministic, O(t) rounds, O(n^2 t) bits, probability-1 agreement
+    (DESIGN.md, substitution 3).
+
+    Structure: K = 4 t + 2 phases of two rounds each. In the first round of
+    a phase every participant broadcasts its value; in the second the phase's
+    king (phase k's king is process k mod n) broadcasts the majority it saw.
+    A participant keeps its majority value when the count clears m/2 + 2t
+    (m = values it received) and otherwise adopts the king's value.
+
+    Why this is correct under adaptive omissions with participants U:
+    - faulty processes follow the protocol, so message *contents* are always
+      honest — with unanimous inputs every message carries the common value
+      and validity holds for any U and any t;
+    - when U is the whole operative set (|U| >= n - 3t, t < n/30), counts at
+      non-faulty participants differ by at most t, the strong threshold
+      separates, and among kings 0..4t+1 at least one is a non-faulty
+      participant (at most t faulty + 3t inoperative), after whose phase all
+      non-faulty participants agree and stay strong.
+    The two cases are exactly the ones Lemma 11 of the paper needs. *)
+
+type msg = Value of int | King of int
+
+type t = {
+  n : int;
+  t_max : int;
+  pid : int;
+  participating : bool;
+  mutable v : int;
+  mutable maj : int;
+  mutable strong : bool;
+  mutable decision : int option;
+}
+
+let phases ~t_max = (4 * t_max) + 2
+
+(** Number of engine rounds the protocol occupies (two per phase); the
+    decision is available after one further call to {!finalize}. *)
+let rounds ~t_max = 2 * phases ~t_max
+
+let create ~n ~t_max ~pid ~participating ~input =
+  if input <> 0 && input <> 1 then invalid_arg "Phase_king.create: input bit";
+  {
+    n;
+    t_max;
+    pid;
+    participating;
+    v = input;
+    maj = input;
+    strong = false;
+    decision = None;
+  }
+
+let king_of_phase st phase = phase mod st.n
+
+let broadcast st m =
+  let out = ref [] in
+  for dst = st.n - 1 downto 0 do
+    if dst <> st.pid then out := (dst, m) :: !out
+  done;
+  !out
+
+(* Adoption rule executed on entry to a phase, consuming the previous
+   phase's king message. *)
+let adopt st ~prev_phase ~inbox =
+  let king = king_of_phase st prev_phase in
+  let king_value =
+    if king = st.pid && st.participating then Some st.maj
+    else
+      List.fold_left
+        (fun acc (src, m) ->
+          match (acc, m) with
+          | None, King v when src = king -> Some v
+          | _ -> acc)
+        None inbox
+  in
+  if st.strong then st.v <- st.maj
+  else
+    match king_value with Some v -> st.v <- v | None -> st.v <- st.maj
+
+(* Counting rule executed on entry to a phase's second round, consuming the
+   participants' value broadcasts. Own value counts (no self-messages go
+   through the engine). *)
+let count st ~inbox =
+  let c = [| 0; 0 |] in
+  if st.participating then c.(st.v) <- c.(st.v) + 1;
+  List.iter
+    (fun (_, m) -> match m with Value v -> c.(v) <- c.(v) + 1 | King _ -> ())
+    inbox;
+  let m_p = c.(0) + c.(1) in
+  let maj = if c.(1) >= c.(0) then 1 else 0 in
+  st.maj <- (if m_p = 0 then st.v else maj);
+  st.strong <- m_p > 0 && 2 * c.(maj) > m_p + (4 * st.t_max)
+
+(** [step st ~local_round ~inbox]: local rounds are 1-based and run from 1
+    to [rounds ~t_max]. Odd rounds broadcast values (and first apply the
+    previous king's verdict); even rounds count and let the king speak. *)
+let step st ~local_round ~inbox =
+  if not st.participating then (st, [])
+  else begin
+    let phase = (local_round - 1) / 2 in
+    if local_round mod 2 = 1 then begin
+      if phase > 0 then adopt st ~prev_phase:(phase - 1) ~inbox;
+      (st, broadcast st (Value st.v))
+    end
+    else begin
+      count st ~inbox;
+      let out =
+        if king_of_phase st phase = st.pid then broadcast st (King st.maj)
+        else []
+      in
+      (st, out)
+    end
+  end
+
+(** Consume the last phase's king message and fix the decision. *)
+let finalize st ~inbox =
+  if st.participating then begin
+    adopt st ~prev_phase:(phases ~t_max:st.t_max - 1) ~inbox;
+    st.decision <- Some st.v
+  end;
+  st
+
+let decision st = st.decision
+
+let msg_bits = function Value _ -> 2 | King _ -> 2

@@ -1,0 +1,38 @@
+(** Deterministic omission-tolerant consensus used as the paper's line-18
+    fallback (standing in for Dolev-Strong, which needs a PKI the omission
+    model does not provide — DESIGN.md, substitution 3).
+
+    4t+2 phases of two rounds each: participants broadcast values, then the
+    phase's king broadcasts the majority it saw; a participant keeps its
+    majority when the count clears m/2 + 2t and otherwise adopts the king.
+    Correct in the two situations Lemma 11 needs: participants = the whole
+    operative set (counts separate, some king among pids 0..4t+1 is a
+    non-faulty participant), or an arbitrary participant set with unanimous
+    inputs (omission faults cannot forge contents, so every message carries
+    the common value). *)
+
+type msg = Value of int | King of int
+
+type t
+
+val phases : t_max:int -> int
+(** 4 t + 2. *)
+
+val rounds : t_max:int -> int
+(** Engine rounds occupied: two per phase. The decision needs one further
+    {!finalize} call on the following round's inbox. *)
+
+val create :
+  n:int -> t_max:int -> pid:int -> participating:bool -> input:int -> t
+(** Non-participants stay silent and never decide. *)
+
+val step : t -> local_round:int -> inbox:(int * msg) list -> t * (int * msg) list
+(** Local rounds are 1-based up to [rounds ~t_max]; odd rounds broadcast
+    values (after applying the previous king's verdict), even rounds count
+    and let the king speak. *)
+
+val finalize : t -> inbox:(int * msg) list -> t
+(** Consume the last king message and fix the decision. *)
+
+val decision : t -> int option
+val msg_bits : msg -> int

@@ -1,0 +1,33 @@
+(** The biased-majority voting rule of Algorithm 1, lines 9-12 (Figure 3).
+
+    [ones] and [zeros] are the operative counts computed by the epoch's
+    communication; thresholds are exact rational comparisons (integer
+    arithmetic, no rounding). *)
+
+type update = { b : int; used_coin : bool }
+
+(** Lines 9-11: fraction of ones above 18/30 forces 1, below 15/30 forces 0,
+    the window in between flips a fair coin (one random bit — the only
+    randomness in the whole algorithm). *)
+let update ~ones ~zeros ~rand =
+  let tot = ones + zeros in
+  if tot <= 0 then invalid_arg "Voting.update: no counts";
+  if 30 * ones > 18 * tot then { b = 1; used_coin = false }
+  else if 30 * ones < 15 * tot then { b = 0; used_coin = false }
+  else { b = Sim.Rand.bit rand; used_coin = true }
+
+(** Line 12: the safety rule arming the [decided] flag when the counts are
+    overwhelming. *)
+let ready ~ones ~zeros =
+  let tot = ones + zeros in
+  tot > 0 && ((30 * ones > 27 * tot) || (30 * ones < 3 * tot))
+
+(** Deterministic variant used by the safety rule of Algorithm 4
+    (lines 19-22): same thresholds, but in the middle window the candidate is
+    left unchanged instead of randomized. *)
+let update_deterministic ~ones ~zeros ~current =
+  let tot = ones + zeros in
+  if tot <= 0 then current
+  else if 30 * ones > 18 * tot then 1
+  else if 30 * ones < 15 * tot then 0
+  else current

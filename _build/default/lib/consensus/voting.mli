@@ -1,0 +1,17 @@
+(** The biased-majority voting rule of Algorithm 1, lines 9-12 (Figure 3):
+    exact integer threshold comparisons at 18/30, 15/30, 27/30 and 3/30. *)
+
+type update = { b : int; used_coin : bool }
+
+val update : ones:int -> zeros:int -> rand:Sim.Rand.t -> update
+(** Fraction of ones above 18/30 forces 1, below 15/30 forces 0; the window
+    between flips one fair coin (the only randomness in Algorithm 1).
+    Raises [Invalid_argument] when both counts are zero. *)
+
+val ready : ones:int -> zeros:int -> bool
+(** Line 12: true when the counts are overwhelming (above 27/30 or below
+    3/30), arming the decided flag. False on empty counts. *)
+
+val update_deterministic : ones:int -> zeros:int -> current:int -> int
+(** The Algorithm 4 safety-rule variant (lines 19-22): same thresholds, but
+    the middle window keeps [current] instead of flipping a coin. *)

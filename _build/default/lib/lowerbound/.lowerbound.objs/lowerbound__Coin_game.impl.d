@@ -1,0 +1,1 @@
+lib/lowerbound/coin_game.ml: Array Sim Stats

@@ -1,0 +1,1 @@
+lib/lowerbound/product.mli:

@@ -1,0 +1,1 @@
+lib/lowerbound/valency.ml: Array Hashtbl List

@@ -1,0 +1,45 @@
+(** The one-round coin-flipping game of Section 4 / Appendix C (Lemma 12).
+
+    k players draw independent uniform coins in {-1, +1}; the outcome is 1
+    when the sum of the *visible* values is positive. The adversary, seeing
+    all coins, may hide (set to bottom) some players' values; it can force
+    outcome 0 exactly when the number of hidden +1 players is at least the
+    drawn imbalance S = sum of coins.
+
+    Lemma 12 (via Talagrand's inequality): hiding 8 sqrt(k log(1/alpha))
+    values biases the game with probability > 1 - alpha. Empirically the
+    required hide count is the (1-alpha)-quantile of S — Theta(sqrt(k
+    log(1/alpha))) by the Gaussian tail, which is what {!required_hides}
+    measures and the L12 bench compares against {!talagrand_budget}. *)
+
+(** Draw the k coins and return the imbalance S (sum of the +/-1 values). *)
+let imbalance rand ~k =
+  let s = ref 0 in
+  for _ = 1 to k do
+    s := !s + if Sim.Rand.bit rand = 1 then 1 else -1
+  done;
+  !s
+
+(** Can the adversary force outcome 0 by hiding at most [hide] values, for
+    this draw? It hides majority (+1) players; success iff S <= hide. *)
+let biasable ~imbalance ~hide = imbalance <= hide
+
+(** Fraction of [trials] games the adversary wins with a hiding budget. *)
+let success_rate rand ~k ~hide ~trials =
+  let wins = ref 0 in
+  for _ = 1 to trials do
+    if biasable ~imbalance:(imbalance rand ~k) ~hide then incr wins
+  done;
+  float_of_int !wins /. float_of_int trials
+
+(** Smallest hiding budget winning a (1 - alpha) fraction of [trials]
+    games: the empirical (1-alpha)-quantile of max(0, S). *)
+let required_hides rand ~k ~alpha ~trials =
+  let samples =
+    Array.init trials (fun _ -> float_of_int (max 0 (imbalance rand ~k)))
+  in
+  int_of_float (ceil (Stats.quantile (1. -. alpha) samples))
+
+(** The paper's Lemma 12 budget: 8 sqrt(k log(1/alpha)). *)
+let talagrand_budget ~k ~alpha =
+  8. *. sqrt (float_of_int k *. log (1. /. alpha))

@@ -1,0 +1,19 @@
+(** The one-round coin-flipping game of Appendix C (Lemma 12): k players
+    draw uniform +/-1 coins; the adversary, seeing all of them, hides some
+    to force the visible sum non-positive. *)
+
+val imbalance : Sim.Rand.t -> k:int -> int
+(** Draw the k coins; return the sum S. *)
+
+val biasable : imbalance:int -> hide:int -> bool
+(** Can outcome 0 be forced by hiding at most [hide] values for this draw?
+    (Hiding majority players: success iff S <= hide.) *)
+
+val success_rate : Sim.Rand.t -> k:int -> hide:int -> trials:int -> float
+
+val required_hides : Sim.Rand.t -> k:int -> alpha:float -> trials:int -> int
+(** Smallest hiding budget winning a (1 - alpha) fraction of games — the
+    empirical (1-alpha)-quantile of max(0, S), Theta(sqrt(k log 1/alpha)). *)
+
+val talagrand_budget : k:int -> alpha:float -> float
+(** The paper's Lemma 12 budget: 8 sqrt(k log(1/alpha)). *)

@@ -1,0 +1,287 @@
+(** Exact valency analysis of small consensus games — the machinery behind
+    Lemma 13 and the state classification of Appendix C, made executable.
+
+    The paper classifies algorithm states as 0-valent / 1-valent /
+    null-valent / bivalent by quantifying over *all* adversarial
+    strategies. For a toy voting protocol on a handful of processes we can
+    do that quantification exhaustively: enumerate every adversary action
+    (which process to crash this round and which subset of its final
+    messages to deliver — the mid-round crash of Lemma 15), average over
+    every coin outcome, and compute by backward induction the exact optimal
+    probabilities
+
+    - [force1] / [force0]: sup over strategies of Pr(all non-faulty decide
+      1 / 0 within the horizon) — both large = the paper's *bivalent*;
+    - [stall]: sup of Pr(someone still undecided at the horizon) — the
+      currency of the round lower bound;
+    - [disagree]: sup of Pr(two non-faulty processes decide differently) —
+      0 proves the protocol safe against *every* t-strategy, exhaustively.
+
+    The toy protocol is a one-coin biased majority: every live process
+    broadcasts its bit; a process that receives only copies of v decides v;
+    otherwise it adopts the majority, flipping a fair coin on ties. This is
+    the minimal member of the Ben-Or family the paper's Section 4 abstracts
+    over, and small enough (n <= 4) for exact analysis. *)
+
+type game = {
+  n : int;
+  t : int;  (** adversary crash budget (at most one new crash per round) *)
+  horizon : int;  (** rounds analyzed *)
+}
+
+(* Global configuration: candidate bits, alive mask, decision per process
+   (-1 undecided), faults used. Packed into an integer key for memoization. *)
+type cfg = {
+  bits : int array;
+  alive : bool array;
+  decided : int array;
+  faults : int;
+}
+
+let key game cfg round =
+  let acc = ref round in
+  for i = 0 to game.n - 1 do
+    acc := (!acc * 2) + cfg.bits.(i);
+    acc := (!acc * 2) + if cfg.alive.(i) then 1 else 0;
+    acc := (!acc * 3) + (cfg.decided.(i) + 1)
+  done;
+  (!acc * (game.t + 1)) + cfg.faults
+
+(* One adversary action: crash nobody, or crash [victim] now, delivering
+   this round's broadcast only to the receivers in [deliver] (the mid-round
+   partial crash). *)
+type action = No_crash | Crash of { victim : int; deliver : bool array }
+
+let actions game cfg =
+  let acc = ref [ No_crash ] in
+  if cfg.faults < game.t then
+    for victim = 0 to game.n - 1 do
+      if cfg.alive.(victim) then begin
+        (* enumerate delivery subsets over the other alive processes *)
+        let receivers = ref [] in
+        for q = 0 to game.n - 1 do
+          if q <> victim && cfg.alive.(q) then receivers := q :: !receivers
+        done;
+        let rs = Array.of_list !receivers in
+        let subsets = 1 lsl Array.length rs in
+        for mask = 0 to subsets - 1 do
+          let deliver = Array.make game.n false in
+          Array.iteri
+            (fun idx q -> if mask land (1 lsl idx) <> 0 then deliver.(q) <- true)
+            rs;
+          acc := Crash { victim; deliver } :: !acc
+        done
+      end
+    done;
+  !acc
+
+(* Apply one round under a fixed action and fixed coin outcomes for the
+   processes that would flip. Returns the next configuration. [coins] maps
+   a dense index over tie-processes to a bit. *)
+let round_step game cfg action ~coin_of =
+  let n = game.n in
+  let alive' = Array.copy cfg.alive in
+  let faults' =
+    match action with
+    | No_crash -> cfg.faults
+    | Crash { victim; _ } ->
+        alive'.(victim) <- false;
+        cfg.faults + 1
+  in
+  let delivers src dst =
+    src <> dst && cfg.alive.(src)
+    &&
+    match action with
+    | Crash { victim; deliver } when src = victim -> deliver.(dst)
+    | Crash _ | No_crash -> true
+  in
+  let bits' = Array.copy cfg.bits in
+  let decided' = Array.copy cfg.decided in
+  let tie_idx = ref 0 in
+  for p = 0 to n - 1 do
+    (* the crashed victim still runs its local phase this round; its later
+       state is irrelevant, so skip it for speed *)
+    if alive'.(p) && cfg.decided.(p) = -1 then begin
+      let c = [| 0; 0 |] in
+      c.(cfg.bits.(p)) <- 1;
+      for q = 0 to n - 1 do
+        if delivers q p then c.(cfg.bits.(q)) <- c.(cfg.bits.(q)) + 1
+      done;
+      if c.(0) = 0 then begin
+        decided'.(p) <- 1;
+        bits'.(p) <- 1
+      end
+      else if c.(1) = 0 then begin
+        decided'.(p) <- 0;
+        bits'.(p) <- 0
+      end
+      else if c.(1) > c.(0) then bits'.(p) <- 1
+      else if c.(0) > c.(1) then bits'.(p) <- 0
+      else begin
+        bits'.(p) <- coin_of !tie_idx;
+        incr tie_idx
+      end
+    end
+  done;
+  { bits = bits'; alive = alive'; decided = decided'; faults = faults' }
+
+(* Count the tie-processes of a configuration under an action (to know how
+   many coin outcomes to enumerate). *)
+let tie_count game cfg action =
+  let n = game.n in
+  let alive_after p =
+    cfg.alive.(p)
+    && match action with Crash { victim; _ } -> p <> victim | No_crash -> true
+  in
+  let delivers src dst =
+    src <> dst && cfg.alive.(src)
+    &&
+    match action with
+    | Crash { victim; deliver } when src = victim -> deliver.(dst)
+    | Crash _ | No_crash -> true
+  in
+  let ties = ref 0 in
+  for p = 0 to n - 1 do
+    if alive_after p && cfg.decided.(p) = -1 then begin
+      let c = [| 0; 0 |] in
+      c.(cfg.bits.(p)) <- 1;
+      for q = 0 to n - 1 do
+        if delivers q p then c.(cfg.bits.(q)) <- c.(cfg.bits.(q)) + 1
+      done;
+      if c.(0) > 0 && c.(1) > 0 && c.(0) = c.(1) then incr ties
+    end
+  done;
+  !ties
+
+(* Predicates over terminal-ish configurations (evaluated at every state;
+   the induction handles the rest). *)
+let all_decided_on v cfg =
+  let ok = ref true in
+  Array.iteri
+    (fun p alive -> if alive && cfg.decided.(p) <> v then ok := false)
+    cfg.alive;
+  !ok
+
+let someone_undecided cfg =
+  let some = ref false in
+  Array.iteri
+    (fun p alive -> if alive && cfg.decided.(p) = -1 then some := true)
+    cfg.alive;
+  !some
+
+let disagreement cfg =
+  let seen0 = ref false and seen1 = ref false in
+  Array.iteri
+    (fun p alive ->
+      if alive then
+        match cfg.decided.(p) with
+        | 0 -> seen0 := true
+        | 1 -> seen1 := true
+        | _ -> ())
+    cfg.alive;
+  !seen0 && !seen1
+
+(** The optimal (sup over adversary strategies) probability that [objective]
+    holds when the horizon is reached, starting from the given inputs. The
+    adversary is adaptive: it picks each round's action knowing the full
+    configuration, and future coin outcomes remain random. *)
+let optimal game ~inputs ~objective =
+  if Array.length inputs <> game.n then invalid_arg "Valency.optimal: inputs";
+  let memo = Hashtbl.create 4096 in
+  let rec value cfg round =
+    if disagreement cfg then
+      (* disagreement is absorbing: decisions are final *)
+      if objective `Disagree then 1. else 0.
+    else if round > game.horizon then begin
+      let hit =
+        match
+          ( all_decided_on 1 cfg && not (someone_undecided cfg),
+            all_decided_on 0 cfg && not (someone_undecided cfg),
+            someone_undecided cfg )
+        with
+        | true, _, _ -> objective `All_one
+        | _, true, _ -> objective `All_zero
+        | _, _, true -> objective `Stall
+        | _ -> false
+      in
+      if hit then 1. else 0.
+    end
+    else if (not (someone_undecided cfg)) && round <= game.horizon then
+      (* everyone decided already: fast-forward to the horizon *)
+      value cfg (game.horizon + 1)
+    else begin
+      let k = key game cfg round in
+      match Hashtbl.find_opt memo k with
+      | Some v -> v
+      | None ->
+          let best = ref 0. in
+          List.iter
+            (fun action ->
+              let ties = tie_count game cfg action in
+              let outcomes = 1 lsl ties in
+              let p = 1. /. float_of_int outcomes in
+              let total = ref 0. in
+              for mask = 0 to outcomes - 1 do
+                let coin_of idx = (mask lsr idx) land 1 in
+                let cfg' = round_step game cfg action ~coin_of in
+                total := !total +. (p *. value cfg' (round + 1))
+              done;
+              if !total > !best then best := !total)
+            (actions game cfg);
+          Hashtbl.replace memo k !best;
+          !best
+    end
+  in
+  let cfg =
+    {
+      bits = Array.copy inputs;
+      alive = Array.make game.n true;
+      decided = Array.make game.n (-1);
+      faults = 0;
+    }
+  in
+  value cfg 1
+
+type analysis = {
+  force1 : float;
+  force0 : float;
+  stall : float;
+  disagree : float;
+}
+
+let analyze game ~inputs =
+  let obj tag = optimal game ~inputs ~objective:(fun x -> x = tag) in
+  {
+    force1 = obj `All_one;
+    force0 = obj `All_zero;
+    stall = obj `Stall;
+    disagree = obj `Disagree;
+  }
+
+(** The paper's classification, with an explicit threshold in place of the
+    asymptotic 1/(n log n) +- i/n^2 bands. *)
+type valence = Zero_valent | One_valent | Null_valent | Bivalent
+
+let classify ?(threshold = 0.5) a =
+  match (a.force1 >= threshold, a.force0 >= threshold) with
+  | true, true -> Bivalent
+  | true, false -> One_valent
+  | false, true -> Zero_valent
+  | false, false -> Null_valent
+
+(** Lemma 13, exhaustively: scan every input assignment and report one that
+    is bivalent or null-valent (the paper proves one must exist whenever
+    the adversary controls at least one process). *)
+let lemma13_witness ?(threshold = 0.5) game =
+  let inputs_of i = Array.init game.n (fun p -> (i lsr p) land 1) in
+  let rec scan i =
+    if i >= 1 lsl game.n then None
+    else begin
+      let inputs = inputs_of i in
+      let a = analyze game ~inputs in
+      match classify ~threshold a with
+      | Bivalent | Null_valent -> Some (inputs, a)
+      | Zero_valent | One_valent -> scan (i + 1)
+    end
+  in
+  scan 0

@@ -1,0 +1,47 @@
+(** Exact valency analysis of small consensus games — the Lemma 13 /
+    Appendix C state classification made executable by exhaustive minimax
+    over every adaptive crash strategy (including Lemma 15's mid-round
+    partial-delivery crashes) and every coin outcome.
+
+    The analyzed protocol is a minimal one-coin biased majority: broadcast
+    the bit; a unanimous view decides; otherwise adopt the majority,
+    flipping a fair coin on ties. *)
+
+type game = {
+  n : int;  (** processes (exact analysis is feasible for n <= 4) *)
+  t : int;  (** crash budget, at most one new crash per round *)
+  horizon : int;  (** rounds analyzed *)
+}
+
+type analysis = {
+  force1 : float;
+      (** sup over strategies of Pr(all non-faulty decide 1 by the horizon) *)
+  force0 : float;
+  stall : float;  (** sup of Pr(someone undecided at the horizon) *)
+  disagree : float;
+      (** sup of Pr(two non-faulty processes decide differently) — 0 is an
+          exhaustive safety proof for the budget *)
+}
+
+val optimal :
+  game ->
+  inputs:int array ->
+  objective:([ `All_one | `All_zero | `Stall | `Disagree ] -> bool) ->
+  float
+(** The optimal probability of reaching a horizon state satisfying the
+    objective, the adversary playing best-response each round with full
+    information. *)
+
+val analyze : game -> inputs:int array -> analysis
+
+type valence = Zero_valent | One_valent | Null_valent | Bivalent
+
+val classify : ?threshold:float -> analysis -> valence
+(** The paper's classification with an explicit threshold (default 0.5)
+    replacing the asymptotic bands. *)
+
+val lemma13_witness :
+  ?threshold:float -> game -> (int array * analysis) option
+(** Scan all 2^n input assignments for one that is bivalent or null-valent
+    — the initial state Lemma 13 guarantees when the adversary controls at
+    least one process. *)

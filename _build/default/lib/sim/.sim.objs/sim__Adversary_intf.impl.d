@@ -1,0 +1,1 @@
+lib/sim/adversary_intf.ml: Config Rand View

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary_intf Array Config Fmt Int64 List Protocol_intf Rand View

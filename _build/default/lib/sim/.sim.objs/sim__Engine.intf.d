@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary_intf Config Protocol_intf View

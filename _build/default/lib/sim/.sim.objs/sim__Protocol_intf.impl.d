@@ -1,0 +1,1 @@
+lib/sim/protocol_intf.ml: Config Rand View

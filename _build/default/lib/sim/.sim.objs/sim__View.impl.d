@@ -1,0 +1,1 @@
+lib/sim/view.ml: Config Hashtbl List

@@ -1,0 +1,13 @@
+(** Adaptive full-information adversaries.
+
+    An adversary is a factory: [create cfg rand] returns a per-run closure
+    holding whatever mutable strategy state it needs. Its randomness is
+    private (not charged to the algorithm's randomness complexity — the
+    model's adversary is computationally unbounded). *)
+
+type t = {
+  name : string;
+  create : Config.t -> Rand.t -> (View.t -> View.plan);
+}
+
+let none = { name = "none"; create = (fun _ _ _ -> View.no_op) }

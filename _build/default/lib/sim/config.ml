@@ -1,0 +1,21 @@
+(** Run configuration shared by every protocol and adversary. *)
+
+type t = {
+  n : int;  (** number of processes, IDs [0 .. n-1] *)
+  t_max : int;  (** adversary's lifetime corruption budget *)
+  seed : int;  (** root seed; the run is a pure function of it *)
+  max_rounds : int;  (** hard stop for the engine *)
+}
+
+let make ?(seed = 0) ?max_rounds ~n ~t_max () =
+  if n <= 0 then invalid_arg "Config.make: n must be positive";
+  if t_max < 0 || t_max >= n then
+    invalid_arg "Config.make: t_max must be in [0, n)";
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 200 + (40 * (t_max + 1))
+  in
+  { n; t_max; seed; max_rounds }
+
+let pp ppf c =
+  Fmt.pf ppf "{n=%d; t=%d; seed=%d; max_rounds=%d}" c.n c.t_max c.seed
+    c.max_rounds

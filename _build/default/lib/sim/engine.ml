@@ -1,0 +1,187 @@
+(** Synchronous round engine with an adaptive full-information omission
+    adversary.
+
+    Round structure (Section 2 of the paper):
+    + every process runs its local-computation phase (possibly drawing from
+      its counted random source) and hands its outgoing messages to the
+      engine;
+    + the adversary inspects the complete system state — including the
+      random bits just drawn and the pending messages — and may corrupt new
+      processes (within its lifetime budget [t_max]) and omit any subset of
+      messages incident to faulty processes;
+    + the surviving messages are delivered, to be consumed at the beginning
+      of the next round.
+
+    The engine enforces the model: omissions between two non-faulty
+    processes, or corruptions beyond the budget, raise {!Illegal_plan}. *)
+
+exception Illegal_plan of string
+
+let illegal fmt = Fmt.kstr (fun s -> raise (Illegal_plan s)) fmt
+
+type outcome = {
+  decisions : int option array;
+  faulty : bool array;  (** final fault set *)
+  rounds_total : int;  (** rounds actually executed *)
+  decided_round : int option;
+      (** round by whose local phase every non-faulty process had decided *)
+  messages_sent : int;
+  bits_sent : int;
+  messages_omitted : int;
+  rand_calls : int;
+  rand_bits : int;
+  faults_used : int;
+}
+
+let all_nonfaulty_decided outcome =
+  let ok = ref true in
+  Array.iteri
+    (fun pid d ->
+      if (not outcome.faulty.(pid)) && d = None then ok := false)
+    outcome.decisions;
+  !ok
+
+(** Decision of the non-faulty processes if they agree, [None] otherwise. *)
+let agreed_decision outcome =
+  let value = ref None and ok = ref true in
+  Array.iteri
+    (fun pid d ->
+      if not outcome.faulty.(pid) then
+        match (d, !value) with
+        | None, _ -> ok := false
+        | Some v, None -> value := Some v
+        | Some v, Some w -> if v <> w then ok := false)
+    outcome.decisions;
+  if !ok then !value else None
+
+(** [run protocol cfg ~adversary ~inputs] executes a full run. [on_round],
+    if given, is called once per round with the round's envelopes (before
+    the adversary intervenes) — benches use it to trace per-slot traffic. *)
+let run ?on_round (module P : Protocol_intf.S) (cfg : Config.t)
+    ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
+  let n = cfg.n in
+  if Array.length inputs <> n then
+    invalid_arg "Engine.run: inputs length must equal n";
+  Array.iter
+    (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be bits")
+    inputs;
+  let counter = Rand.Counter.create () in
+  let root = Rand.create ~counter ~seed:(Int64.of_int cfg.seed) () in
+  let adv_rand = Rand.create ~seed:(Int64.of_int (cfg.seed + 0x5eed)) () in
+  let adv = adversary.create cfg adv_rand in
+  let states = Array.init n (fun pid -> P.init cfg ~pid ~input:inputs.(pid)) in
+  let inboxes : (int * P.msg) list array = Array.make n [] in
+  let faulty = Array.make n false in
+  let faults_used = ref 0 in
+  let messages_sent = ref 0 in
+  let bits_sent = ref 0 in
+  let messages_omitted = ref 0 in
+  let decided_round = ref None in
+  let rounds_total = ref 0 in
+  let used_randomness = Array.make n false in
+  (* Outboxes of the current round, indexed by sender. *)
+  let outboxes : (int * P.msg) list array = Array.make n [] in
+  let round = ref 1 in
+  let stop = ref false in
+  while (not !stop) && !round <= cfg.max_rounds do
+    let r = !round in
+    rounds_total := r;
+    (* Phase 1: local computation. *)
+    for pid = 0 to n - 1 do
+      let calls_before = Rand.Counter.calls counter in
+      let state', out =
+        P.step cfg states.(pid) ~round:r ~inbox:inboxes.(pid)
+          ~rand:(Rand.derive root ((r * n) + pid))
+      in
+      states.(pid) <- state';
+      outboxes.(pid) <- out;
+      used_randomness.(pid) <- Rand.Counter.calls counter > calls_before;
+      inboxes.(pid) <- []
+    done;
+    (* Termination is detected on the local phase: deciding is a local act. *)
+    let everyone_decided = ref true in
+    for pid = 0 to n - 1 do
+      if (not faulty.(pid)) && (P.observe states.(pid)).decided = None then
+        everyone_decided := false
+    done;
+    if !everyone_decided && !decided_round = None then decided_round := Some r;
+    (* Phase 2: adversary intervention. *)
+    let envelopes =
+      let acc = ref [] in
+      for pid = n - 1 downto 0 do
+        List.iter
+          (fun (dst, m) ->
+            if dst < 0 || dst >= n then
+              invalid_arg "Engine.run: message to out-of-range pid";
+            acc :=
+              { View.src = pid; dst; bits = max 1 (P.msg_bits m);
+                hint = P.msg_hint m }
+              :: !acc)
+          outboxes.(pid)
+      done;
+      Array.of_list !acc
+    in
+    let view =
+      {
+        View.round = r;
+        cfg;
+        faulty = Array.copy faulty;
+        faults_used = !faults_used;
+        obs =
+          Array.init n (fun pid ->
+              {
+                View.pid;
+                core = P.observe states.(pid);
+                used_randomness = used_randomness.(pid);
+              });
+        envelopes;
+      }
+    in
+    (match on_round with Some f -> f ~round:r envelopes | None -> ());
+    let plan = adv view in
+    List.iter
+      (fun pid ->
+        if pid < 0 || pid >= n then illegal "corruption of out-of-range pid %d" pid;
+        if not faulty.(pid) then begin
+          if !faults_used >= cfg.t_max then
+            illegal "corruption budget t=%d exceeded at round %d" cfg.t_max r;
+          faulty.(pid) <- true;
+          incr faults_used
+        end)
+      plan.new_faults;
+    (* Phase 3: communication. Omitted messages still count as sent: the
+       sender transmitted them; the adversary suppressed delivery. *)
+    for pid = 0 to n - 1 do
+      List.iter
+        (fun (dst, m) ->
+          incr messages_sent;
+          bits_sent := !bits_sent + max 1 (P.msg_bits m);
+          if plan.omit pid dst then begin
+            if (not faulty.(pid)) && not faulty.(dst) then
+              illegal "omission between non-faulty %d -> %d at round %d" pid
+                dst r;
+            incr messages_omitted
+          end
+          else inboxes.(dst) <- (pid, m) :: inboxes.(dst))
+        outboxes.(pid);
+      outboxes.(pid) <- []
+    done;
+    for pid = 0 to n - 1 do
+      inboxes.(pid) <-
+        List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(pid)
+    done;
+    if !decided_round <> None then stop := true;
+    incr round
+  done;
+  {
+    decisions = Array.map (fun s -> (P.observe s).decided) states;
+    faulty;
+    rounds_total = !rounds_total;
+    decided_round = !decided_round;
+    messages_sent = !messages_sent;
+    bits_sent = !bits_sent;
+    messages_omitted = !messages_omitted;
+    rand_calls = Rand.Counter.calls counter;
+    rand_bits = Rand.Counter.bits counter;
+    faults_used = !faults_used;
+  }

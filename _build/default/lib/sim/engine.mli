@@ -1,0 +1,47 @@
+(** The synchronous round engine with an adaptive full-information omission
+    adversary — the execution model of Section 2 of the paper.
+
+    Per round: (1) every process runs its local-computation phase, drawing
+    from a counted random source; (2) the adversary inspects everything —
+    states, fresh coins, pending messages — and picks new corruptions
+    (within the lifetime budget [t_max]) plus per-edge omissions at faulty
+    endpoints; (3) surviving messages are delivered for the next round.
+
+    Model enforcement: a plan that omits a message between two non-faulty
+    processes, or corrupts beyond the budget, raises {!Illegal_plan}. *)
+
+exception Illegal_plan of string
+
+type outcome = {
+  decisions : int option array;
+  faulty : bool array;  (** final fault set *)
+  rounds_total : int;  (** rounds actually executed *)
+  decided_round : int option;
+      (** first round by whose local phase every non-faulty process had
+          decided — the paper's time metric; [None] if [max_rounds] hit *)
+  messages_sent : int;
+  bits_sent : int;  (** omitted messages still count: the sender sent them *)
+  messages_omitted : int;
+  rand_calls : int;  (** calls to the random source (Theorem 2's R) *)
+  rand_bits : int;  (** total random bits drawn *)
+  faults_used : int;
+}
+
+val all_nonfaulty_decided : outcome -> bool
+
+val agreed_decision : outcome -> int option
+(** The common decision of the non-faulty processes, or [None] if any is
+    undecided or two disagree. *)
+
+val run :
+  ?on_round:(round:int -> View.envelope array -> unit) ->
+  Protocol_intf.t ->
+  Config.t ->
+  adversary:Adversary_intf.t ->
+  inputs:int array ->
+  outcome
+(** Execute a run: a pure function of [(protocol, adversary, cfg, inputs)].
+    Stops when every non-faulty process has decided or at [max_rounds].
+    [on_round] observes each round's envelopes (before omissions) — used by
+    the benches for traffic traces. Raises [Invalid_argument] if [inputs]
+    is not an n-vector of bits. *)

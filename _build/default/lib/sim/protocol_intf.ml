@@ -1,0 +1,44 @@
+(** Signature every consensus protocol implements.
+
+    A protocol is a per-process deterministic state machine driven by the
+    engine. Each round the engine calls {!S.step} once per process (faulty
+    processes included — omission-faulty processes follow the protocol, only
+    their messages are filtered). The state machine never learns who is
+    faulty: it only sees delivered messages, exactly as in the model. *)
+
+module type S = sig
+  type state
+  type msg
+
+  val name : string
+
+  val init : Config.t -> pid:int -> input:int -> state
+  (** Initial state for process [pid] with input bit [input]. *)
+
+  val step :
+    Config.t ->
+    state ->
+    round:int ->
+    inbox:(int * msg) list ->
+    rand:Rand.t ->
+    state * (int * msg) list
+  (** Local-computation phase of [round] (rounds start at 1). [inbox] holds
+      the messages delivered at the end of the previous round, sorted by
+      sender. Returns the new state and the messages [(dst, msg)] to send in
+      this round's communication phase. All randomness must come from
+      [rand]. *)
+
+  val observe : state -> View.obs_core
+  (** Full-information observation of the state, also used by the engine to
+      detect termination ([decided]). *)
+
+  val msg_bits : msg -> int
+  (** Size of a message in bits, charged to communication complexity. Must
+      be at least 1 (a message carries at least one bit). *)
+
+  val msg_hint : msg -> int option
+  (** Candidate value carried by the message, if meaningful; exposed to the
+      adversary through {!View.envelope}. *)
+end
+
+type t = (module S)

@@ -1,0 +1,78 @@
+module Counter = struct
+  type t = { mutable calls : int; mutable bits : int }
+
+  let create () = { calls = 0; bits = 0 }
+  let calls t = t.calls
+  let bits t = t.bits
+
+  let reset t =
+    t.calls <- 0;
+    t.bits <- 0
+
+  let charge t k =
+    t.calls <- t.calls + 1;
+    t.bits <- t.bits + k
+end
+
+type t = { base : int64; mutable state : int64; counter : Counter.t }
+
+(* splitmix64: fast, high-quality 64-bit mixing; every run is a pure function
+   of the seed, which the whole test suite relies on. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let create ?counter ~seed () =
+  let counter = match counter with Some c -> c | None -> Counter.create () in
+  let base = mix64 (Int64.add seed golden) in
+  { base; state = base; counter }
+
+let derive t i =
+  let base = mix64 (Int64.logxor t.base (mix64 (Int64.of_int (i + 1)))) in
+  { base; state = base; counter = t.counter }
+
+let counter t = t.counter
+
+let raw_bits t k = Int64.to_int (Int64.shift_right_logical (next t) (64 - k))
+
+let bit t =
+  Counter.charge t.counter 1;
+  raw_bits t 1
+
+let bits t k =
+  if k < 1 || k > 62 then invalid_arg "Rand.bits: k must be in [1, 62]";
+  Counter.charge t.counter k;
+  raw_bits t k
+
+let int_below t m =
+  if m <= 0 then invalid_arg "Rand.int_below: bound must be positive";
+  (* Number of bits needed to cover [0, m); rejection sampling keeps the
+     distribution exactly uniform. *)
+  let rec nbits acc v = if v = 0 then acc else nbits (acc + 1) (v lsr 1) in
+  let k = max 1 (nbits 0 (m - 1)) in
+  Counter.charge t.counter k;
+  let rec draw () =
+    let v = raw_bits t k in
+    if v < m then v else draw ()
+  in
+  draw ()
+
+let float t =
+  Counter.charge t.counter 53;
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

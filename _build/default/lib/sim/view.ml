@@ -1,0 +1,56 @@
+(** What the full-information adaptive adversary sees each round, and the
+    intervention it may order.
+
+    The adversary intervenes between the local-computation phase and the
+    communication phase: it has already seen the random bits drawn this round
+    (they are reflected in [candidate] / [used_randomness]) and the messages
+    the processes are about to send, and only then picks new corruptions and
+    omissions. *)
+
+type obs_core = {
+  candidate : int option;  (** current candidate decision bit, if any *)
+  operative : bool;  (** protocol-level operative status (paper's notion) *)
+  decided : int option;  (** final decision once taken *)
+}
+
+type obs = {
+  pid : int;
+  core : obs_core;
+  used_randomness : bool;  (** accessed the random source this round *)
+}
+
+type envelope = {
+  src : int;
+  dst : int;
+  bits : int;  (** message size charged to communication complexity *)
+  hint : int option;  (** candidate value carried, when meaningful *)
+}
+
+type t = {
+  round : int;
+  cfg : Config.t;
+  faulty : bool array;  (** fault set before this round's intervention *)
+  faults_used : int;
+  obs : obs array;
+  envelopes : envelope array;  (** all messages produced this round *)
+}
+
+type plan = {
+  new_faults : int list;
+      (** processes to corrupt now; lifetime total must stay within t_max *)
+  omit : int -> int -> bool;
+      (** [omit src dst]: drop this round's message from [src] to [dst].
+          Must return [false] whenever neither endpoint is faulty — the
+          engine enforces this. *)
+}
+
+let no_op = { new_faults = []; omit = (fun _ _ -> false) }
+
+(** Omission predicate dropping every message to or from any pid in [pids]. *)
+let omit_all_of pids =
+  let set = Hashtbl.create (List.length pids * 2) in
+  List.iter (fun p -> Hashtbl.replace set p ()) pids;
+  fun src dst -> Hashtbl.mem set src || Hashtbl.mem set dst
+
+(** Crash-style plan: corrupt [pids] and silence them completely. *)
+let crash pids = { new_faults = pids; omit = omit_all_of pids }

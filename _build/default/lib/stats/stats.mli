@@ -1,0 +1,31 @@
+(** Descriptive statistics and regression used for checking the *shape* of
+    measured complexity curves against the paper's asymptotic claims. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Sample variance (n-1 denominator); 0 for fewer than two points. *)
+
+val stddev : float array -> float
+
+val quantile : float -> float array -> float
+(** Linear-interpolation quantile; [q] in [0, 1]. *)
+
+val median : float array -> float
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear_fit : float array -> float array -> fit
+(** Ordinary least squares [y = slope * x + intercept]. Requires at least
+    two points with non-degenerate xs. *)
+
+val loglog_fit : float array -> float array -> fit
+(** Fit [y = c * x^e] on log-log axes: [slope] is the exponent [e]. All
+    coordinates must be positive. *)
+
+val growth_exponent : ?log_power:int -> float array -> float array -> float
+(** Growth exponent of [ys] versus [ns] after dividing out [log^k n] —
+    compares a measured series against a claim like O(sqrt n * log^2 n). *)
+
+val pp_fit : Format.formatter -> fit -> unit

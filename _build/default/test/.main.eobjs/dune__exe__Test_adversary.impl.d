@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Array Consensus List Sim

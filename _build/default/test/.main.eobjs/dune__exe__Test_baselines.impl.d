@@ -1,0 +1,1 @@
+test/test_baselines.ml: Adversary Alcotest Array Consensus List Printf Sim

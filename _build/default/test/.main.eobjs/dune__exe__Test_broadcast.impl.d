@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Adversary Alcotest Array Consensus List Printf Sim

@@ -1,0 +1,1 @@
+test/test_crash_sub.ml: Adversary Alcotest Array Consensus List Printf Sim

@@ -1,0 +1,1 @@
+test/test_engine.ml: Adversary Alcotest Array List Sim

@@ -1,0 +1,1 @@
+test/test_expander.ml: Alcotest Array Expander Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_groups.ml: Alcotest Array Groups Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest List Lowerbound Printf Sim

@@ -1,0 +1,1 @@
+test/test_optimal.ml: Adversary Alcotest Array Consensus Hashtbl List Printf QCheck QCheck_alcotest Sim String

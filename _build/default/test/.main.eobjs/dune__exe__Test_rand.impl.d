@@ -1,0 +1,1 @@
+test/test_rand.ml: Alcotest Array Int64 QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_voting.ml: Alcotest Array Consensus List QCheck QCheck_alcotest Sim

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "omission_consensus"
+    [
+      ("rand", Test_rand.suite);
+      ("stats", Test_stats.suite);
+      ("expander", Test_expander.suite);
+      ("groups", Test_groups.suite);
+      ("engine", Test_engine.suite);
+      ("voting", Test_voting.suite);
+      ("core", Test_core.suite);
+      ("auth", Test_auth.suite);
+      ("adversary", Test_adversary.suite);
+      ("optimal-omissions", Test_optimal.suite);
+      ("param-omissions", Test_param.suite);
+      ("baselines", Test_baselines.suite);
+      ("operative-broadcast", Test_broadcast.suite);
+      ("crash-subquadratic", Test_crash_sub.suite);
+      ("lower-bound", Test_lowerbound.suite);
+      ("valency", Test_valency.suite);
+    ]

@@ -1,0 +1,106 @@
+(* Contract tests for the adversary strategies: budgets respected, plans
+   legal (the engine would raise otherwise), and each strategy does what
+   its name says. *)
+
+let run_bjbo ?(n = 64) ?(t = 8) ?(seed = 1) adversary =
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:2000 () in
+  let proto = Consensus.Bjbo.protocol cfg in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  Sim.Engine.run proto cfg ~adversary ~inputs
+
+let test_vote_splitter_spends_budget () =
+  let o = run_bjbo (Adversary.vote_splitter ()) in
+  Alcotest.(check int) "full budget spent" 8 o.Sim.Engine.faults_used;
+  Alcotest.(check bool) "messages omitted" true (o.messages_omitted > 0);
+  Alcotest.(check bool) "still decides" true
+    (Sim.Engine.all_nonfaulty_decided o)
+
+let test_vote_splitter_slack () =
+  (* with slack it kills less *)
+  let o0 = run_bjbo (Adversary.vote_splitter ~slack:0 ()) in
+  let o5 = run_bjbo (Adversary.vote_splitter ~slack:1000 ()) in
+  Alcotest.(check bool) "slack reduces kills" true
+    (o5.Sim.Engine.faults_used <= o0.Sim.Engine.faults_used)
+
+let test_crash_schedule_clamped () =
+  (* asks for 3 victims with budget 1: must clamp, not raise *)
+  let adversary = Adversary.crash_schedule [ (1, [ 0; 1; 2 ]) ] in
+  let o = run_bjbo ~t:1 adversary in
+  Alcotest.(check int) "clamped to budget" 1 o.Sim.Engine.faults_used
+
+let test_crash_schedule_timing () =
+  let adversary = Adversary.crash_schedule [ (2, [ 5 ]); (4, [ 6 ]) ] in
+  let o = run_bjbo ~t:4 adversary in
+  Alcotest.(check bool) "both victims corrupted" true
+    (o.Sim.Engine.faulty.(5) && o.faulty.(6));
+  Alcotest.(check int) "only scheduled victims" 2 o.faults_used
+
+let test_random_omission_budget () =
+  let o = run_bjbo (Adversary.random_omission ~p_omit:0.9) in
+  Alcotest.(check int) "corrupts the full budget at once" 8
+    o.Sim.Engine.faults_used
+
+let test_random_omission_zero_p () =
+  let o = run_bjbo (Adversary.random_omission ~p_omit:0.) in
+  Alcotest.(check int) "p=0 omits nothing" 0 o.Sim.Engine.messages_omitted
+
+let test_staggered_crash_rate () =
+  let o = run_bjbo ~t:6 (Adversary.staggered_crash ~per_round:2) in
+  Alcotest.(check int) "budget fully spent" 6 o.Sim.Engine.faults_used
+
+let test_group_killer_target () =
+  (* against Algorithm 1 at a size where t covers half a group *)
+  let n = 100 in
+  (* group size 10, majority 6; allow t = 6 *)
+  let t = 3 in
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed:1 ~max_rounds:4000 () in
+  let proto = Consensus.Optimal_omissions.protocol cfg in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = Sim.Engine.run proto cfg ~adversary:(Adversary.group_killer ()) ~inputs in
+  (* victims are the first pids (group 0 is contiguous) *)
+  Alcotest.(check int) "corrupts within budget" t o.Sim.Engine.faults_used;
+  for pid = 0 to t - 1 do
+    Alcotest.(check bool) "victims in group 0" true o.faulty.(pid)
+  done;
+  Alcotest.(check bool) "consensus survives" true
+    (Sim.Engine.agreed_decision o <> None)
+
+let test_eclipse_targets_victim_links () =
+  let n = 64 in
+  let victim = 9 in
+  let o = run_bjbo ~n ~t:8 (Adversary.eclipse ~victim) in
+  (* the victim itself must never be corrupted by eclipse *)
+  Alcotest.(check bool) "victim left non-faulty" false
+    o.Sim.Engine.faulty.(victim);
+  Alcotest.(check bool) "neighbors corrupted" true (o.faults_used > 0)
+
+let test_standard_suite_runs () =
+  let suite = Adversary.standard_suite ~n:64 in
+  Alcotest.(check bool) "several strategies" true (List.length suite >= 6);
+  List.iter
+    (fun adversary ->
+      let o = run_bjbo adversary in
+      Alcotest.(check bool)
+        ("legal and consensus-preserving: " ^ adversary.Sim.Adversary_intf.name)
+        true
+        (Sim.Engine.agreed_decision o <> None))
+    suite
+
+let suite =
+  [
+    Alcotest.test_case "vote splitter spends budget" `Quick
+      test_vote_splitter_spends_budget;
+    Alcotest.test_case "vote splitter slack" `Quick test_vote_splitter_slack;
+    Alcotest.test_case "crash schedule clamped" `Quick
+      test_crash_schedule_clamped;
+    Alcotest.test_case "crash schedule timing" `Quick
+      test_crash_schedule_timing;
+    Alcotest.test_case "random omission budget" `Quick
+      test_random_omission_budget;
+    Alcotest.test_case "random omission p=0" `Quick test_random_omission_zero_p;
+    Alcotest.test_case "staggered crash rate" `Quick test_staggered_crash_rate;
+    Alcotest.test_case "group killer target" `Quick test_group_killer_target;
+    Alcotest.test_case "eclipse spares the victim" `Quick
+      test_eclipse_targets_victim_links;
+    Alcotest.test_case "standard suite" `Quick test_standard_suite_runs;
+  ]

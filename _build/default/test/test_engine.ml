@@ -1,0 +1,254 @@
+(* Tests for the synchronous round engine and its enforcement of the
+   omission-fault model. *)
+
+(* A tiny instrumentable protocol: every process broadcasts its input every
+   round and decides at a fixed round on the parity of messages heard. *)
+module Echo = struct
+  type state = {
+    pid : int;
+    n : int;
+    input : int;
+    mutable heard : int;
+    mutable senders : int list;
+    mutable decided : int option;
+    mutable coins : int;
+  }
+
+  type msg = Ping of int
+
+  let name = "echo"
+
+  let init (cfg : Sim.Config.t) ~pid ~input =
+    { pid; n = cfg.n; input; heard = 0; senders = []; decided = None; coins = 0 }
+
+  let decide_round = 4
+
+  let step _cfg st ~round ~inbox ~rand =
+    st.heard <- st.heard + List.length inbox;
+    st.senders <- List.map fst inbox @ st.senders;
+    (* pid 0 flips a coin every round, to exercise randomness observation *)
+    if st.pid = 0 then st.coins <- st.coins + Sim.Rand.bit rand;
+    if round = decide_round then st.decided <- Some (st.heard mod 2);
+    let out = ref [] in
+    if round < decide_round then
+      for dst = 0 to st.n - 1 do
+        if dst <> st.pid then out := (dst, Ping st.input) :: !out
+      done;
+    (st, !out)
+
+  let observe st =
+    {
+      Sim.View.candidate = Some st.input;
+      operative = true;
+      decided = st.decided;
+    }
+
+  let msg_bits (Ping _) = 3
+  let msg_hint (Ping v) = Some v
+end
+
+let cfg ?(n = 8) ?(t = 2) ?(max_rounds = 10) () =
+  Sim.Config.make ~n ~t_max:t ~seed:1 ~max_rounds ()
+
+let run ?(adversary = Sim.Adversary_intf.none) ?(n = 8) ?(t = 2) () =
+  let cfg = cfg ~n ~t () in
+  Sim.Engine.run (module Echo) cfg ~adversary
+    ~inputs:(Array.init n (fun i -> i mod 2))
+
+let test_full_delivery () =
+  let o = run () in
+  Alcotest.(check int) "terminates at decide round" 4
+    (match o.Sim.Engine.decided_round with Some r -> r | None -> -1);
+  (* 3 broadcast rounds, 8 processes, 7 receivers *)
+  Alcotest.(check int) "messages" (3 * 8 * 7) o.messages_sent;
+  Alcotest.(check int) "bits = 3 per message" (3 * 8 * 7 * 3) o.bits_sent;
+  Alcotest.(check int) "nothing omitted" 0 o.messages_omitted
+
+let test_randomness_accounting () =
+  let o = run () in
+  (* pid 0 flips one coin per executed round *)
+  Alcotest.(check int) "rand calls" o.Sim.Engine.rounds_total o.rand_calls;
+  Alcotest.(check int) "rand bits" o.rounds_total o.rand_bits
+
+let test_determinism () =
+  let o1 = run () and o2 = run () in
+  Alcotest.(check (array (option int))) "same decisions"
+    o1.Sim.Engine.decisions o2.Sim.Engine.decisions;
+  Alcotest.(check int) "same bits" o1.bits_sent o2.bits_sent
+
+let test_crash_omits () =
+  let adversary = Adversary.crash_schedule [ (1, [ 3 ]) ] in
+  let o = run ~adversary () in
+  Alcotest.(check int) "one fault" 1 o.Sim.Engine.faults_used;
+  Alcotest.(check bool) "pid 3 faulty" true o.faulty.(3);
+  (* pid 3 broadcasts 7 messages in each of 3 rounds, all omitted *)
+  Alcotest.(check int) "omissions counted" (3 * 7) o.messages_omitted
+
+let test_illegal_omission_rejected () =
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "cheater";
+      create = (fun _ _ _ -> { Sim.View.new_faults = []; omit = (fun _ _ -> true) });
+    }
+  in
+  Alcotest.(check bool) "illegal omission raises" true
+    (try
+       ignore (run ~adversary ());
+       false
+     with Sim.Engine.Illegal_plan _ -> true)
+
+let test_budget_enforced () =
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "greedy";
+      create =
+        (fun _ _ view ->
+          ignore view;
+          { Sim.View.new_faults = [ 0; 1; 2 ]; omit = (fun _ _ -> false) });
+    }
+  in
+  Alcotest.(check bool) "budget overrun raises" true
+    (try
+       ignore (run ~t:2 ~adversary ());
+       false
+     with Sim.Engine.Illegal_plan _ -> true)
+
+let test_faulty_omission_allowed () =
+  (* omissions touching a faulty endpoint are legal in both directions *)
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "incoming-omitter";
+      create =
+        (fun _ _ view ->
+          if view.Sim.View.round = 1 then
+            { Sim.View.new_faults = [ 5 ]; omit = (fun _ dst -> dst = 5) }
+          else { Sim.View.new_faults = []; omit = (fun _ dst -> dst = 5) });
+    }
+  in
+  let o = run ~adversary () in
+  (* 7 senders to pid 5 for 3 rounds *)
+  Alcotest.(check int) "incoming omitted" 21 o.Sim.Engine.messages_omitted
+
+let test_inbox_sorted_by_sender () =
+  let module Probe = struct
+    type state = { pid : int; n : int; mutable ok : bool; mutable decided : int option }
+    type msg = M
+
+    let name = "probe"
+    let init (cfg : Sim.Config.t) ~pid ~input:_ =
+      { pid; n = cfg.n; ok = true; decided = None }
+
+    let step _cfg st ~round ~inbox ~rand:_ =
+      let srcs = List.map fst inbox in
+      if srcs <> List.sort compare srcs then st.ok <- false;
+      if round = 3 then st.decided <- Some (if st.ok then 1 else 0);
+      let out = ref [] in
+      if round < 3 then
+        for dst = 0 to st.n - 1 do
+          if dst <> st.pid then out := (dst, M) :: !out
+        done;
+      (st, !out)
+
+    let observe st =
+      { Sim.View.candidate = None; operative = true; decided = st.decided }
+
+    let msg_bits M = 1
+    let msg_hint M = None
+  end in
+  let cfg = cfg () in
+  let o =
+    Sim.Engine.run (module Probe) cfg ~adversary:Sim.Adversary_intf.none
+      ~inputs:(Array.make 8 0)
+  in
+  Alcotest.(check (option int)) "inboxes sorted" (Some 1)
+    (Sim.Engine.agreed_decision o)
+
+let test_max_rounds_cap () =
+  let module Forever = struct
+    type state = unit
+    type msg = |
+
+    let name = "forever"
+    let init _ ~pid:_ ~input:_ = ()
+    let step _ st ~round:_ ~inbox:_ ~rand:_ = (st, [])
+    let observe () =
+      { Sim.View.candidate = None; operative = true; decided = None }
+    let msg_bits (_ : msg) = 1
+    let msg_hint (_ : msg) = None
+  end in
+  let cfg = cfg ~max_rounds:7 () in
+  let o =
+    Sim.Engine.run (module Forever) cfg ~adversary:Sim.Adversary_intf.none
+      ~inputs:(Array.make 8 0)
+  in
+  Alcotest.(check int) "capped" 7 o.Sim.Engine.rounds_total;
+  Alcotest.(check (option int)) "no termination" None o.decided_round;
+  Alcotest.(check bool) "not all decided" false
+    (Sim.Engine.all_nonfaulty_decided o)
+
+let test_view_contents () =
+  (* the adversary sees candidates, coin usage, and envelopes *)
+  let seen_coin = ref false and seen_envelopes = ref false in
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "observer";
+      create =
+        (fun _ _ view ->
+          if view.Sim.View.obs.(0).used_randomness then seen_coin := true;
+          if Array.length view.envelopes > 0 then begin
+            seen_envelopes := true;
+            Array.iter
+              (fun e ->
+                if e.Sim.View.hint = None then
+                  failwith "echo messages carry hints")
+              view.envelopes
+          end;
+          Sim.View.no_op);
+    }
+  in
+  let (_ : Sim.Engine.outcome) = run ~adversary () in
+  Alcotest.(check bool) "coin visible" true !seen_coin;
+  Alcotest.(check bool) "envelopes visible" true !seen_envelopes
+
+let test_agreed_decision_helpers () =
+  let o = run () in
+  (* echo decides on parity of heard count: all hear the same here *)
+  Alcotest.(check bool) "all decided" true (Sim.Engine.all_nonfaulty_decided o);
+  Alcotest.(check bool) "agreement helper consistent" true
+    (Sim.Engine.agreed_decision o <> None)
+
+let test_input_validation () =
+  let cfg = cfg () in
+  Alcotest.(check bool) "wrong input length rejected" true
+    (try
+       ignore
+         (Sim.Engine.run (module Echo) cfg ~adversary:Sim.Adversary_intf.none
+            ~inputs:(Array.make 3 0));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-bit input rejected" true
+    (try
+       ignore
+         (Sim.Engine.run (module Echo) cfg ~adversary:Sim.Adversary_intf.none
+            ~inputs:(Array.make 8 2));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "full delivery and accounting" `Quick test_full_delivery;
+    Alcotest.test_case "randomness accounting" `Quick test_randomness_accounting;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "crash omits forever" `Quick test_crash_omits;
+    Alcotest.test_case "illegal omission rejected" `Quick
+      test_illegal_omission_rejected;
+    Alcotest.test_case "fault budget enforced" `Quick test_budget_enforced;
+    Alcotest.test_case "incoming omissions at faulty dst" `Quick
+      test_faulty_omission_allowed;
+    Alcotest.test_case "inbox sorted by sender" `Quick
+      test_inbox_sorted_by_sender;
+    Alcotest.test_case "max_rounds cap" `Quick test_max_rounds_cap;
+    Alcotest.test_case "adversary view contents" `Quick test_view_contents;
+    Alcotest.test_case "outcome helpers" `Quick test_agreed_decision_helpers;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+  ]

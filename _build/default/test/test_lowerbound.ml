@@ -1,0 +1,116 @@
+(* Tests for the coin-flipping game (Lemma 12) and the Theorem 2 product
+   experiment. *)
+
+let rand () = Sim.Rand.create ~seed:77L ()
+
+let test_imbalance_parity () =
+  let r = rand () in
+  for _ = 1 to 50 do
+    let k = 10 in
+    let s = Lowerbound.Coin_game.imbalance r ~k in
+    Alcotest.(check bool) "imbalance parity matches k" true ((s - k) mod 2 = 0);
+    Alcotest.(check bool) "imbalance in [-k, k]" true (s >= -k && s <= k)
+  done
+
+let test_biasable () =
+  Alcotest.(check bool) "negative imbalance free" true
+    (Lowerbound.Coin_game.biasable ~imbalance:(-3) ~hide:0);
+  Alcotest.(check bool) "exact budget" true
+    (Lowerbound.Coin_game.biasable ~imbalance:5 ~hide:5);
+  Alcotest.(check bool) "insufficient budget" false
+    (Lowerbound.Coin_game.biasable ~imbalance:5 ~hide:4)
+
+let test_success_monotone_in_budget () =
+  let r = rand () in
+  let s1 = Lowerbound.Coin_game.success_rate r ~k:256 ~hide:0 ~trials:400 in
+  let r = rand () in
+  let s2 = Lowerbound.Coin_game.success_rate r ~k:256 ~hide:16 ~trials:400 in
+  let r = rand () in
+  let s3 = Lowerbound.Coin_game.success_rate r ~k:256 ~hide:64 ~trials:400 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.2f <= %.2f <= %.2f" s1 s2 s3)
+    true
+    (s1 <= s2 +. 0.05 && s2 <= s3 +. 0.05);
+  Alcotest.(check bool) "big budget nearly always wins" true (s3 > 0.95);
+  Alcotest.(check bool) "zero budget wins about half" true
+    (s1 > 0.3 && s1 < 0.7)
+
+let test_required_hides_sqrt_scaling () =
+  let r = rand () in
+  let h64 = Lowerbound.Coin_game.required_hides r ~k:64 ~alpha:0.1 ~trials:1500 in
+  let h1024 =
+    Lowerbound.Coin_game.required_hides r ~k:1024 ~alpha:0.1 ~trials:1500
+  in
+  (* quadrupling... sixteen-folding k should roughly 4x the hides *)
+  let ratio = float_of_int h1024 /. float_of_int (max 1 h64) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sqrt scaling: h(1024)/h(64) = %.2f in [2.5, 6]" ratio)
+    true
+    (ratio > 2.5 && ratio < 6.)
+
+let test_required_below_talagrand () =
+  (* the empirical requirement must sit below the paper's upper bound *)
+  let r = rand () in
+  List.iter
+    (fun k ->
+      let h = Lowerbound.Coin_game.required_hides r ~k ~alpha:0.05 ~trials:800 in
+      let bound = Lowerbound.Coin_game.talagrand_budget ~k ~alpha:0.05 in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: %d <= %.1f" k h bound)
+        true
+        (float_of_int h <= bound))
+    [ 16; 64; 256 ]
+
+let test_product_bound_holds () =
+  (* the vote-splitting adversary forces T*(R+T) >= t^2 / (1024 log n); we
+     check the measured product clears the bound shape with a comfortable
+     constant *)
+  List.iter
+    (fun (n, t) ->
+      List.iter
+        (fun k ->
+          let r = Lowerbound.Product.run ~seed:2 ~n ~t ~coin_set:k () in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d t=%d k=%d: product %d >= bound/64 %.1f" n t
+               k r.product (r.bound /. 64.))
+            true
+            (float_of_int r.product >= r.bound /. 64.);
+          Alcotest.(check bool) "run decided" true r.decided)
+        [ 1; 8; n ])
+    [ (48, 6); (96, 12) ]
+
+let test_starved_is_slower () =
+  (* the headline: with the same adversary, fewer coins per round means
+     more adversary-forced rounds (averaged over seeds); t is set high so
+     the stall dominates the algorithm's own convergence tail *)
+  let n = 96 and t = 24 in
+  let t1, _, _ = Lowerbound.Product.run_avg ~seeds:6 ~n ~t ~coin_set:1 () in
+  let t16, _, _ = Lowerbound.Product.run_avg ~seeds:6 ~n ~t ~coin_set:16 () in
+  let tn, _, _ = Lowerbound.Product.run_avg ~seeds:6 ~n ~t ~coin_set:n () in
+  Alcotest.(check bool)
+    (Printf.sprintf "starved %.1f > k=16 %.1f" t1 t16)
+    true (t1 > t16);
+  Alcotest.(check bool)
+    (Printf.sprintf "starved %.1f > full-random %.1f" t1 tn)
+    true (t1 > tn)
+
+let test_product_determinism () =
+  let a = Lowerbound.Product.run ~seed:5 ~n:48 ~t:6 ~coin_set:48 () in
+  let b = Lowerbound.Product.run ~seed:5 ~n:48 ~t:6 ~coin_set:48 () in
+  Alcotest.(check int) "same rounds" a.rounds b.rounds;
+  Alcotest.(check int) "same randomness" a.rand_calls b.rand_calls
+
+let suite =
+  [
+    Alcotest.test_case "imbalance parity/range" `Quick test_imbalance_parity;
+    Alcotest.test_case "biasable" `Quick test_biasable;
+    Alcotest.test_case "success monotone in budget" `Quick
+      test_success_monotone_in_budget;
+    Alcotest.test_case "sqrt scaling of hides" `Quick
+      test_required_hides_sqrt_scaling;
+    Alcotest.test_case "below Talagrand budget" `Quick
+      test_required_below_talagrand;
+    Alcotest.test_case "Theorem 2 product bound" `Slow test_product_bound_holds;
+    Alcotest.test_case "starved runs are slower" `Slow test_starved_is_slower;
+    Alcotest.test_case "product determinism" `Quick test_product_determinism;
+  ]

@@ -1,0 +1,104 @@
+(* Tests for the statistics toolkit. *)
+
+let feq = Alcotest.float 1e-9
+let feq_loose = Alcotest.float 1e-2
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "singleton" 7. (Stats.mean [| 7. |])
+
+let test_variance () =
+  Alcotest.check feq "variance" 2.5 (Stats.variance [| 1.; 2.; 3.; 4.; 5. |]);
+  Alcotest.check feq "constant" 0. (Stats.variance [| 3.; 3.; 3. |]);
+  Alcotest.check feq "singleton" 0. (Stats.variance [| 3. |])
+
+let test_stddev () =
+  Alcotest.check feq "stddev" (sqrt 2.5) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |])
+
+let test_median () =
+  Alcotest.check feq "odd" 3. (Stats.median [| 5.; 1.; 3. |]);
+  Alcotest.check feq "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_quantile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  Alcotest.check feq "q0" 10. (Stats.quantile 0. xs);
+  Alcotest.check feq "q1" 50. (Stats.quantile 1. xs);
+  Alcotest.check feq "q0.25" 20. (Stats.quantile 0.25 xs);
+  Alcotest.check feq "interpolated" 15. (Stats.quantile 0.125 xs)
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.quantile 1.5 [| 1. |]));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.quantile: empty") (fun () ->
+      ignore (Stats.quantile 0.5 [||]))
+
+let test_linear_fit () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (3. *. x) +. 1.) xs in
+  let f = Stats.linear_fit xs ys in
+  Alcotest.check feq_loose "slope" 3. f.Stats.slope;
+  Alcotest.check feq_loose "intercept" 1. f.intercept;
+  Alcotest.check feq_loose "r2" 1. f.r2
+
+let test_linear_fit_noise () =
+  let rand = Sim.Rand.create ~seed:4L () in
+  let xs = Array.init 200 (fun i -> float_of_int i) in
+  let ys =
+    Array.map (fun x -> (2. *. x) -. 5. +. (Sim.Rand.float rand -. 0.5)) xs
+  in
+  let f = Stats.linear_fit xs ys in
+  Alcotest.(check bool) "slope ~2" true (abs_float (f.Stats.slope -. 2.) < 0.01);
+  Alcotest.(check bool) "r2 high" true (f.r2 > 0.99)
+
+let test_loglog_fit () =
+  let xs = [| 2.; 4.; 8.; 16.; 32. |] in
+  let ys = Array.map (fun x -> 5. *. (x ** 1.5)) xs in
+  let f = Stats.loglog_fit xs ys in
+  Alcotest.check feq_loose "exponent" 1.5 f.Stats.slope
+
+let test_growth_exponent () =
+  let ns = [| 64.; 128.; 256.; 512.; 1024. |] in
+  (* y = n^2 * log^3 n: dividing the polylog out should recover 2 *)
+  let ys = Array.map (fun n -> n *. n *. (log n ** 3.)) ns in
+  let e = Stats.growth_exponent ~log_power:3 ns ys in
+  Alcotest.(check bool) "exponent ~2" true (abs_float (e -. 2.) < 0.01);
+  (* without correction, the measured exponent is inflated *)
+  let e' = Stats.growth_exponent ns ys in
+  Alcotest.(check bool) "uncorrected exponent > 2" true (e' > 2.1)
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(pair (array_of_size Gen.(1 -- 40) (float_bound_exclusive 100.))
+              (pair (float_bound_inclusive 1.) (float_bound_inclusive 1.)))
+    (fun (xs, (q1, q2)) ->
+      QCheck.assume (Array.length xs > 0);
+      let lo = min q1 q2 and hi = max q1 q2 in
+      Stats.quantile lo xs <= Stats.quantile hi xs +. 1e-9)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(array_of_size Gen.(1 -- 40) (float_bound_exclusive 100.))
+    (fun xs ->
+      QCheck.assume (Array.length xs > 0);
+      let m = Stats.mean xs in
+      let mn = Array.fold_left min xs.(0) xs in
+      let mx = Array.fold_left max xs.(0) xs in
+      m >= mn -. 1e-9 && m <= mx +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "quantile" `Quick test_quantile;
+    Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+    Alcotest.test_case "linear fit exact" `Quick test_linear_fit;
+    Alcotest.test_case "linear fit noisy" `Quick test_linear_fit_noise;
+    Alcotest.test_case "loglog fit" `Quick test_loglog_fit;
+    Alcotest.test_case "growth exponent" `Quick test_growth_exponent;
+    QCheck_alcotest.to_alcotest qcheck_quantile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+  ]

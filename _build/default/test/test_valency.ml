@@ -1,0 +1,116 @@
+(* Exhaustive valency analysis of the toy voting game (Lemma 13 and the
+   Appendix C state classification, on instances small enough to solve
+   exactly). These tests quantify over EVERY adaptive crash strategy within
+   the budget — they are exhaustive model-checking results, not sampled
+   runs. *)
+
+module V = Lowerbound.Valency
+
+let game ?(n = 3) ?(t = 1) ?(horizon = 4) () = { V.n; t; horizon }
+
+let test_validity_exhaustive () =
+  (* all-zeros input: NO adversary strategy can force a 1-decision (the
+     protocol's validity, proved exhaustively); symmetrically for ones *)
+  let a = V.analyze (game ()) ~inputs:[| 0; 0; 0 |] in
+  Alcotest.(check (float 0.)) "force1 = 0 on zeros" 0. a.V.force1;
+  Alcotest.(check (float 0.)) "immediate decision" 0. a.stall;
+  let a = V.analyze (game ()) ~inputs:[| 1; 1; 1 |] in
+  Alcotest.(check (float 0.)) "force0 = 0 on ones" 0. a.V.force0
+
+let test_safety_exhaustive_t1 () =
+  (* with t = 1 no strategy can cause disagreement, on any input *)
+  for mask = 0 to 7 do
+    let inputs = Array.init 3 (fun p -> (mask lsr p) land 1) in
+    let a = V.analyze (game ~t:1 ()) ~inputs in
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "disagree = 0 for inputs %d%d%d" inputs.(0) inputs.(1)
+         inputs.(2))
+      0. a.V.disagree
+  done
+
+let test_safety_exhaustive_t2 () =
+  (* stronger: even with t = 2 of 3 the unanimity decision rule is safe —
+     a decided value sits in every later view while its holder is alive,
+     and two opposite unanimous views in one round would need a process to
+     out-vote its own bit. The analyzer proves this exhaustively. *)
+  let a = V.analyze (game ~t:2 ()) ~inputs:[| 1; 0; 1 |] in
+  Alcotest.(check (float 0.)) "disagree = 0 even at t=2" 0. a.V.disagree
+
+let test_mixed_is_bivalent () =
+  (* the adversary can steer a mixed input both ways: crash the minority
+     holder for 1, or a majority holder and win the coin war for 0 *)
+  let a = V.analyze (game ~horizon:6 ()) ~inputs:[| 1; 0; 1 |] in
+  Alcotest.(check (float 0.)) "can force 1 outright" 1. a.V.force1;
+  (* forcing 0 goes through the coin war: 1/4 per double-coin round, so it
+     approaches 1/2 as the horizon grows *)
+  Alcotest.(check bool)
+    (Printf.sprintf "can force 0 with good probability (%.2f)" a.V.force0)
+    true (a.V.force0 >= 0.4);
+  Alcotest.(check bool) "classified bivalent" true
+    (V.classify ~threshold:0.4 a = V.Bivalent)
+
+let test_no_adversary_no_bivalence () =
+  (* with t = 0 the run is a fixed Markov chain: force1 + force0 + stall
+     sum to at most 1 and nothing can be steered *)
+  let a = V.analyze (game ~t:0 ()) ~inputs:[| 1; 0; 1 |] in
+  Alcotest.(check bool) "probabilities consistent" true
+    (a.V.force1 +. a.force0 +. a.stall <= 1. +. 1e-9);
+  (* majority 1 with full delivery: everyone adopts 1 and decides next
+     round — deterministic *)
+  Alcotest.(check (float 1e-9)) "deterministic convergence to 1" 1. a.V.force1
+
+let test_stalling_costs_budget () =
+  (* keeping the execution undecided requires spending crashes: with t = 1
+     the adversary can stall for a while but not forever; more budget
+     stalls longer (the round-lower-bound currency) *)
+  let s1 = (V.analyze (game ~t:1 ~horizon:4 ()) ~inputs:[| 1; 0; 1 |]).V.stall in
+  let s2 = (V.analyze (game ~t:2 ~horizon:4 ()) ~inputs:[| 1; 0; 1 |]).V.stall in
+  Alcotest.(check bool)
+    (Printf.sprintf "stall grows with budget (%.3f <= %.3f)" s1 s2)
+    true (s1 <= s2 +. 1e-9)
+
+let test_lemma13_witness () =
+  (* Lemma 13: some input assignment is bivalent or null-valent when the
+     adversary controls one process *)
+  match V.lemma13_witness ~threshold:0.4 (game ~horizon:6 ()) with
+  | None -> Alcotest.fail "no bivalent/null-valent input found"
+  | Some (inputs, a) ->
+      Alcotest.(check bool) "witness is mixed" true
+        (Array.exists (fun b -> b = 0) inputs
+        && Array.exists (fun b -> b = 1) inputs);
+      Alcotest.(check bool) "witness really steerable" true
+        (a.V.force1 >= 0.4 && a.force0 >= 0.4)
+
+let test_unanimous_is_univalent () =
+  let a0 = V.analyze (game ()) ~inputs:[| 0; 0; 0 |] in
+  let a1 = V.analyze (game ()) ~inputs:[| 1; 1; 1 |] in
+  Alcotest.(check bool) "zeros are 0-valent" true
+    (V.classify a0 = V.Zero_valent);
+  Alcotest.(check bool) "ones are 1-valent" true (V.classify a1 = V.One_valent)
+
+let test_four_processes () =
+  (* a slightly bigger exact instance *)
+  let g = game ~n:4 ~t:1 ~horizon:3 () in
+  let a = V.analyze g ~inputs:[| 1; 1; 0; 0 |] in
+  Alcotest.(check (float 0.)) "safe at t=1" 0. a.V.disagree;
+  Alcotest.(check bool) "steerable both ways" true
+    (a.V.force1 > 0.4 && a.force0 > 0.2)
+
+let suite =
+  [
+    Alcotest.test_case "validity, exhaustively" `Quick test_validity_exhaustive;
+    Alcotest.test_case "safety at t=1, exhaustively" `Quick
+      test_safety_exhaustive_t1;
+    Alcotest.test_case "safety at t=2, exhaustively" `Quick
+      test_safety_exhaustive_t2;
+    Alcotest.test_case "mixed inputs are bivalent" `Quick
+      test_mixed_is_bivalent;
+    Alcotest.test_case "t=0 has no bivalence" `Quick
+      test_no_adversary_no_bivalence;
+    Alcotest.test_case "stalling costs budget" `Quick
+      test_stalling_costs_budget;
+    Alcotest.test_case "Lemma 13 witness" `Quick test_lemma13_witness;
+    Alcotest.test_case "unanimity is univalent" `Quick
+      test_unanimous_is_univalent;
+    Alcotest.test_case "four processes" `Slow test_four_processes;
+  ]
