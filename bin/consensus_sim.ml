@@ -112,6 +112,54 @@ let graph_cmd n delta_c seed =
     | Some e -> Fmt.pr "core eccentricity from node %d: %d@." !v e
     | None -> Fmt.pr "core is disconnected@."
 
+(* --- fuzz / replay: the property-based differential harness --- *)
+
+let fuzz_protocols spec =
+  match spec with
+  | None -> Harness.Registry.all
+  | Some id -> (
+      match Harness.Registry.find id with
+      | Some e -> [ e ]
+      | None ->
+          Fmt.epr "unknown protocol %S; registered: %s@." id
+            (String.concat ", " (Harness.Registry.ids ()));
+          exit 2)
+
+let fuzz_cmd count seed max_n protocol smoke =
+  let protocols = fuzz_protocols protocol in
+  let count = if smoke then max count 1_000_000 else count in
+  let time_budget = if smoke then Some 25.0 else None in
+  let result =
+    Harness.Fuzz.run ~protocols ~count ~seed ~max_n ?time_budget
+      ~progress:(fun m -> Fmt.pr "fuzz: %s@." m)
+      ()
+  in
+  match result with
+  | Ok stats ->
+      Fmt.pr
+        "fuzz: OK — %d scenarios, %d protocol runs (%d conformance-checked), \
+         %d determinism checks, 0 violations@."
+        stats.Harness.Fuzz.scenarios stats.runs stats.checked
+        stats.determinism_checks
+  | Error (f, stats) ->
+      Fmt.pr "fuzz: FAILED after %d scenarios@." stats.Harness.Fuzz.scenarios;
+      Fmt.pr "%a" Harness.Fuzz.pp_failure f;
+      exit 1
+
+let replay_cmd scenario protocol all =
+  let s =
+    try Harness.Scenario.of_string scenario
+    with Harness.Scenario.Parse_error m ->
+      Fmt.epr "bad scenario: %s@." m;
+      exit 2
+  in
+  let protocols = fuzz_protocols protocol in
+  let report =
+    Harness.Runner.run ~protocols ~include_out_of_model:all s
+  in
+  Fmt.pr "%a" Harness.Runner.pp_report report;
+  if not (Harness.Runner.report_ok report) then exit 1
+
 let n_arg =
   Arg.(value & opt int 128 & info [ "n" ] ~doc:"Number of processes.")
 
@@ -158,12 +206,72 @@ let run_term =
 let graph_term =
   Term.(const graph_cmd $ n_arg $ delta_c_arg $ seed_arg)
 
+let fuzz_term =
+  let count =
+    Arg.(
+      value & opt int 500
+      & info [ "count"; "c" ] ~doc:"Number of generated scenarios.")
+  in
+  let max_n =
+    Arg.(
+      value & opt int 40
+      & info [ "max-n" ] ~doc:"Largest generated system size.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol"; "p" ]
+          ~doc:"Fuzz only this registered protocol (default: all).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI soak mode: run as many scenarios as fit in ~25 s.")
+  in
+  Term.(const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke)
+
+let replay_term =
+  let scenario =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "scenario"; "s" ]
+          ~doc:"Scenario to replay, as printed by fuzz (n/t/seed/bits/strategy).")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol"; "p" ]
+          ~doc:"Replay only this registered protocol (default: all).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Also run protocols whose fault model does not cover the \
+                scenario (metric invariants only).")
+  in
+  Term.(const replay_cmd $ scenario $ protocol $ all)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a consensus protocol in the simulator")
       run_term;
     Cmd.v (Cmd.info "graph" ~doc:"Inspect a Theorem-4 communication graph")
       graph_term;
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Property-based differential fuzzing of all registered protocols \
+            against generated adversary strategies")
+      fuzz_term;
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Replay a fuzz scenario and print the conformance report")
+      replay_term;
   ]
 
 let () =

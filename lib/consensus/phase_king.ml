@@ -127,3 +127,38 @@ let finalize st ~inbox =
 let decision st = st.decision
 
 let msg_bits = function Value _ -> 2 | King _ -> 2
+
+(* --- standalone protocol wrapper --- *)
+
+let rounds_needed (cfg : Sim.Config.t) = rounds ~t_max:cfg.t_max + 1
+
+(** Phase-king as a standalone {!Sim.Protocol_intf.S} protocol: every
+    process participates, the decision lands one round after the last
+    phase (the {!finalize} round). Deterministic; tolerates adaptive
+    omissions for t < n/6 (the strong-threshold separation argument). *)
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  (module struct
+    type nonrec state = t
+    type nonrec msg = msg
+
+    let name = "phase-king"
+
+    let init (cfg : Sim.Config.t) ~pid ~input =
+      create ~n:cfg.n ~t_max:cfg.t_max ~pid ~participating:true ~input
+
+    let step (cfg : Sim.Config.t) st ~round ~inbox ~rand:_ =
+      let last = rounds ~t_max:cfg.t_max in
+      if round <= last then step st ~local_round:round ~inbox
+      else if round = last + 1 then (finalize st ~inbox, [])
+      else (st, [])
+
+    let observe st =
+      {
+        Sim.View.candidate = Some st.v;
+        operative = true;
+        decided = st.decision;
+      }
+
+    let msg_bits = msg_bits
+    let msg_hint = function Value v -> Some v | King v -> Some v
+  end)

@@ -36,3 +36,11 @@ val finalize : t -> inbox:(int * msg) list -> t
 
 val decision : t -> int option
 val msg_bits : msg -> int
+
+val protocol : Sim.Config.t -> Sim.Protocol_intf.t
+(** Phase-king as a standalone protocol: all processes participate; the
+    decision lands at round [rounds ~t_max + 1] (the finalize round).
+    Deterministic, omission-tolerant for t < n/6. *)
+
+val rounds_needed : Sim.Config.t -> int
+(** Engine rounds the standalone protocol needs: [rounds ~t_max + 1]. *)

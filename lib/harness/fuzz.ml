@@ -1,0 +1,133 @@
+(** The fuzzing loop: generate scenarios, run the differential conformance
+    suite on each, and on a violation greedily shrink to a minimal
+    (n, t, strategy) counterexample with a one-line replay command. *)
+
+type stats = {
+  mutable scenarios : int;
+  mutable runs : int;  (** protocol executions *)
+  mutable checked : int;  (** executions with consensus properties asserted *)
+  mutable determinism_checks : int;
+}
+
+let stats_zero () =
+  { scenarios = 0; runs = 0; checked = 0; determinism_checks = 0 }
+
+type failure = {
+  original : Scenario.t;
+  shrunk : Scenario.t;
+  violation : Runner.violation;
+  shrink_steps : int;
+}
+
+let replay_command s =
+  Printf.sprintf "consensus_sim replay -s '%s'" (Scenario.to_string s)
+
+let pp_failure ppf f =
+  Fmt.pf ppf "violation %a@." Runner.pp_violation f.violation;
+  Fmt.pf ppf "original : %s@." (Scenario.to_string f.original);
+  Fmt.pf ppf "shrunk   : %s (%d shrink steps)@."
+    (Scenario.to_string f.shrunk) f.shrink_steps;
+  Fmt.pf ppf "replay   : %s@." (replay_command f.shrunk)
+
+(* A scenario "still fails" when it reproduces a violation of the same
+   protocol and property — chasing a different bug mid-shrink would make
+   the minimum meaningless. *)
+let reproduces ~protocols (v : Runner.violation) s =
+  let report = Runner.run ~protocols s in
+  List.find_opt
+    (fun (v' : Runner.violation) ->
+      v'.protocol = v.protocol && v'.property = v.property)
+    (Runner.report_violations report)
+
+(** Greedy descent through {!Scenario.shrink} candidates: take the first
+    candidate that still reproduces the violation, repeat until none does
+    (or a step cap, as a backstop against shrink cycles). *)
+let minimise ?(max_steps = 300) ~protocols (v : Runner.violation) s =
+  let rec go s v steps =
+    if steps >= max_steps then (s, v, steps)
+    else
+      let candidates =
+        List.filter
+          (fun c -> Scenario.measure c < Scenario.measure s)
+          (Scenario.shrink s)
+      in
+      match
+        List.find_map
+          (fun c ->
+            match reproduces ~protocols v c with
+            | Some v' -> Some (c, v')
+            | None -> None)
+          candidates
+      with
+      | Some (c, v') -> go c v' (steps + 1)
+      | None -> (s, v, steps)
+  in
+  go s v 0
+
+(** Run [count] generated scenarios (stopping early once [time_budget]
+    CPU-seconds have elapsed, if given) through the differential suite.
+    Every 25th scenario is additionally replayed twice for bit-identical
+    determinism. Returns the stats, or the first (shrunk) failure. *)
+let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
+    ?time_budget ?(progress = fun _ -> ()) () :
+    (stats, failure * stats) result =
+  let stats = stats_zero () in
+  let root = Sim.Rand.create ~seed:(Int64.of_int seed) () in
+  let started = Sys.time () in
+  let out_of_time () =
+    match time_budget with
+    | Some b -> Sys.time () -. started > b
+    | None -> false
+  in
+  let exception Found of failure in
+  try
+    let i = ref 0 in
+    while !i < count && not (out_of_time ()) do
+      let s = Scenario.generate ?max_n (Sim.Rand.derive root !i) in
+      let report = Runner.run ~protocols s in
+      stats.scenarios <- stats.scenarios + 1;
+      stats.runs <- stats.runs + List.length report.results;
+      stats.checked <-
+        stats.checked
+        + List.length
+            (List.filter (fun r -> r.Runner.checked) report.results);
+      (match Runner.report_violations report with
+      | v :: _ ->
+          let shrunk, v', steps = minimise ~protocols v s in
+          raise
+            (Found
+               { original = s; shrunk; violation = v'; shrink_steps = steps })
+      | [] -> ());
+      (* periodic determinism regression check, rotating over protocols *)
+      if !i mod 25 = 0 then begin
+        let in_model =
+          List.filter
+            (fun e ->
+              s.Scenario.n >= e.Registry.min_n && Registry.in_model e s)
+            protocols
+        in
+        match in_model with
+        | [] -> ()
+        | l -> (
+            let e = List.nth l (!i / 25 mod List.length l) in
+            stats.determinism_checks <- stats.determinism_checks + 1;
+            match Runner.determinism_violation e s with
+            | Some v ->
+                raise
+                  (Found
+                     {
+                       original = s;
+                       shrunk = s;
+                       violation = v;
+                       shrink_steps = 0;
+                     })
+            | None -> ())
+      end;
+      if (!i + 1) mod 50 = 0 then
+        progress
+          (Printf.sprintf "%d scenarios, %d protocol runs, %d checked"
+             stats.scenarios stats.runs stats.checked);
+      incr i
+    done;
+    Ok stats
+  with Found f -> Error (f, stats)

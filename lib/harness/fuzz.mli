@@ -1,0 +1,47 @@
+(** The fuzzing loop: generate scenarios, run the differential conformance
+    suite on each, and on a violation greedily shrink to a minimal
+    (n, t, strategy) counterexample with a one-line replay command. *)
+
+type stats = {
+  mutable scenarios : int;
+  mutable runs : int;  (** protocol executions *)
+  mutable checked : int;  (** executions with consensus properties asserted *)
+  mutable determinism_checks : int;
+}
+
+type failure = {
+  original : Scenario.t;
+  shrunk : Scenario.t;
+  violation : Runner.violation;
+  shrink_steps : int;
+}
+
+val replay_command : Scenario.t -> string
+(** The one-liner that reproduces the scenario via [consensus_sim replay]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val minimise :
+  ?max_steps:int ->
+  protocols:Registry.entry list ->
+  Runner.violation ->
+  Scenario.t ->
+  Scenario.t * Runner.violation * int
+(** Greedy descent through {!Scenario.shrink}: take the first candidate
+    that still reproduces a violation of the same protocol and property,
+    repeat to a fixpoint (capped at [max_steps]). Returns the minimum, its
+    violation, and the steps taken. *)
+
+val run :
+  ?protocols:Registry.entry list ->
+  ?count:int ->
+  ?seed:int ->
+  ?max_n:int ->
+  ?time_budget:float ->
+  ?progress:(string -> unit) ->
+  unit ->
+  (stats, failure * stats) result
+(** Run [count] generated scenarios (stopping early after [time_budget]
+    CPU-seconds, if given). Every 25th scenario is additionally replayed
+    twice for bit-identical determinism. Returns the stats, or the first
+    failure, already shrunk. *)

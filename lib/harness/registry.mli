@@ -1,0 +1,38 @@
+(** First-class-module registry of every {!Sim.Protocol_intf.S}
+    implementation in [lib/consensus], with the metadata the differential
+    conformance runner needs. To register a new protocol, add an entry to
+    {!all} with its fault model, tolerated budget, schedule bound and
+    conformance kind; the fuzzer, the [fuzz]/[replay] subcommands and the
+    property-based test suite pick it up automatically. *)
+
+type model = Crash | Omission
+
+type kind =
+  | Consensus
+      (** agreement + weak validity + termination among non-faulty *)
+  | Broadcast of { source : int }
+      (** decisions are the source's bit or the default 0; full delivery is
+          only guaranteed while the source stays operative *)
+
+type entry = {
+  id : string;
+  model : model;
+  kind : kind;
+  max_t : int -> int;  (** n -> largest tolerated fault budget *)
+  min_n : int;  (** smallest supported system size *)
+  build : Sim.Config.t -> Sim.Protocol_intf.t;
+  rounds_bound : Sim.Config.t -> int;
+      (** schedule length to use as [max_rounds]; termination is expected
+          within it *)
+}
+
+val pp_model : Format.formatter -> model -> unit
+val all : entry list
+val find : string -> entry option
+val ids : unit -> string list
+
+val in_model : entry -> Scenario.t -> bool
+(** Whether the protocol's guarantees cover the scenario (size fits and the
+    strategy stays inside its fault model); out-of-model runs are still
+    executed for engine-invariant checking but their decisions are not held
+    to the consensus properties. *)

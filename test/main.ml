@@ -17,4 +17,6 @@ let () =
       ("crash-subquadratic", Test_crash_sub.suite);
       ("lower-bound", Test_lowerbound.suite);
       ("valency", Test_valency.suite);
+      ("phase-king", Test_phase_king.suite);
+      ("harness", Test_harness.suite);
     ]

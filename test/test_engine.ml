@@ -76,6 +76,15 @@ let test_determinism () =
     o1.Sim.Engine.decisions o2.Sim.Engine.decisions;
   Alcotest.(check int) "same bits" o1.bits_sent o2.bits_sent
 
+let test_determinism_bit_identical () =
+  (* same seed, randomized adversary in the loop: the entire outcome record
+     — decisions, fault set, every counter — must be reproduced exactly *)
+  let run () = run ~adversary:(Adversary.random_omission ~p_omit:0.4) () in
+  let o1 = run () and o2 = run () in
+  Alcotest.(check bool) "outcome records bit-identical" true (o1 = o2);
+  Alcotest.(check bool) "adversary actually omitted" true
+    (o1.Sim.Engine.messages_omitted > 0)
+
 let test_crash_omits () =
   let adversary = Adversary.crash_schedule [ (1, [ 3 ]) ] in
   let o = run ~adversary () in
@@ -239,6 +248,8 @@ let suite =
     Alcotest.test_case "full delivery and accounting" `Quick test_full_delivery;
     Alcotest.test_case "randomness accounting" `Quick test_randomness_accounting;
     Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "determinism is bit-identical under adversary" `Quick
+      test_determinism_bit_identical;
     Alcotest.test_case "crash omits forever" `Quick test_crash_omits;
     Alcotest.test_case "illegal omission rejected" `Quick
       test_illegal_omission_rejected;
