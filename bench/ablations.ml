@@ -39,18 +39,25 @@ let abl_delta ~quick () =
   let t = max 1 (n / 31) in
   row "%8s %8s %10s %14s %14s %8s\n" "c" "Delta" "rounds" "comm bits"
     "min operative" "n-3t";
-  List.iter
+  Exec.map
     (fun c ->
       let params = { Consensus.Params.default with Consensus.Params.delta_c = c } in
       let m, min_ops =
         run_with_params ~params ~n ~t ~seed:1
           ~adversary:(Adversary.random_omission ~p_omit:1.0)
       in
-      row "%8d %8d %10d %14d %14d %8d\n" c
-        (Consensus.Params.delta params ~n)
-        m.rounds m.bits min_ops
-        (n - (3 * t)))
-    [ 2; 4; 8; 12 ]
+      (c, Consensus.Params.delta params ~n, m, min_ops))
+    [| 2; 4; 8; 12 |]
+  |> Array.iter (fun (c, delta, m, min_ops) ->
+         row "%8d %8d %10d %14d %14d %8d\n" c delta m.rounds m.bits min_ops
+           (n - (3 * t));
+         Out.emit
+           [
+             ("c", Out.I c); ("delta", Out.I delta);
+             ("rounds", Out.I m.rounds); ("comm_bits", Out.I m.bits);
+             ("min_operative", Out.I min_ops);
+             ("operative_bound", Out.I (n - (3 * t)));
+           ])
 
 (* A2: spreading rounds multiplier. *)
 let abl_spread ~quick () =
@@ -63,15 +70,23 @@ let abl_spread ~quick () =
   let t = max 1 (n / 31) in
   row "%8s %10s %10s %14s %14s\n" "c" "rounds" "decided" "comm bits"
     "min operative";
-  List.iter
+  Exec.map
     (fun c ->
       let params = { Consensus.Params.default with Consensus.Params.spread_c = c } in
       let m, min_ops =
         run_with_params ~params ~n ~t ~seed:1
           ~adversary:(Adversary.vote_splitter ())
       in
-      row "%8d %10d %10b %14d %14d\n" c m.rounds m.decided m.bits min_ops)
-    [ 1; 2; 4 ]
+      (c, m, min_ops))
+    [| 1; 2; 4 |]
+  |> Array.iter (fun (c, m, min_ops) ->
+         row "%8d %10d %10b %14d %14d\n" c m.rounds m.decided m.bits min_ops;
+         Out.emit
+           [
+             ("c", Out.I c); ("rounds", Out.I m.rounds);
+             ("decided", Out.B m.decided); ("comm_bits", Out.I m.bits);
+             ("min_operative", Out.I min_ops);
+           ])
 
 (* A3: epoch count vs fallback engagement. *)
 let abl_epochs ~quick () =
@@ -87,32 +102,43 @@ let abl_epochs ~quick () =
      mean the fallback ran *)
   row "%8s %12s %16s %12s\n" "epochs" "avg rounds" "fallback runs"
     "avg bits";
+  let per_e =
+    sweep ~params:[ 1; 2; 4; 8; 12 ] ~seeds (fun e seed ->
+        let params =
+          { Consensus.Params.default with Consensus.Params.epochs = Consensus.Params.Fixed e }
+        in
+        let m, _ =
+          run_with_params ~params ~n ~t ~seed
+            ~adversary:(Adversary.vote_splitter ())
+        in
+        (* compute the voting-phase length for this parameterization *)
+        let members = Array.init n (fun i -> i) in
+        let sh =
+          Consensus.Core.make_shared ~members ~seed:1 ~params ~t_max:t ()
+        in
+        let voting_end = Consensus.Core.rounds sh + 1 in
+        (m, m.rounds > voting_end))
+  in
   List.iter
-    (fun e ->
-      let params =
-        { Consensus.Params.default with Consensus.Params.epochs = Consensus.Params.Fixed e }
+    (fun (e, results) ->
+      let fallbacks =
+        List.length (List.filter (fun (_, fb) -> fb) results)
       in
-      let fallbacks = ref 0 and rounds = ref 0. and bits = ref 0. in
-      List.iter
-        (fun seed ->
-          let m, _ =
-            run_with_params ~params ~n ~t ~seed
-              ~adversary:(Adversary.vote_splitter ())
-          in
-          (* compute the voting-phase length for this parameterization *)
-          let members = Array.init n (fun i -> i) in
-          let sh =
-            Consensus.Core.make_shared ~members ~seed:1 ~params ~t_max:t ()
-          in
-          let voting_end = Consensus.Core.rounds sh + 1 in
-          if m.rounds > voting_end then incr fallbacks;
-          rounds := !rounds +. float_of_int m.rounds;
-          bits := !bits +. float_of_int m.bits)
-        seeds;
-      let k = float_of_int (List.length seeds) in
-      row "%8d %12.0f %11d/%-4d %12.0f\n" e (!rounds /. k) !fallbacks
-        (List.length seeds) (!bits /. k))
-    [ 1; 2; 4; 8; 12 ]
+      let k = float_of_int (List.length results) in
+      let avg g =
+        List.fold_left (fun a (m, _) -> a +. float_of_int (g m)) 0. results
+        /. k
+      in
+      let rounds = avg (fun m -> m.rounds) and bits = avg (fun m -> m.bits) in
+      row "%8d %12.0f %11d/%-4d %12.0f\n" e rounds fallbacks
+        (List.length results) bits;
+      Out.emit
+        [
+          ("epochs", Out.I e); ("avg_rounds", Out.F rounds);
+          ("fallback_runs", Out.I fallbacks);
+          ("seeds", Out.I (List.length results)); ("avg_bits", Out.F bits);
+        ])
+    per_e
 
 let all ~quick () =
   abl_delta ~quick ();

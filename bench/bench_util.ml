@@ -7,6 +7,78 @@ let subsection title = Printf.printf "\n-- %s --\n" title
 
 let row fmt = Printf.printf fmt
 
+(* ------------------------------------------------------------------ *)
+(* Structured results: every experiment row is teed as a JSON record   *)
+(* (JSON Lines) into BENCH_consensus.json, alongside the stdout table. *)
+(* ------------------------------------------------------------------ *)
+
+module Out = struct
+  type jv = I of int | F of float | S of string | B of bool
+
+  let sink : out_channel option ref = ref None
+  let experiment = ref ""
+  let started = ref 0.
+
+  let set_path = function
+    | None -> sink := None
+    | Some path -> sink := Some (open_out path)
+
+  let start_experiment id =
+    experiment := id;
+    started := Unix.gettimeofday ()
+
+  let elapsed () = Unix.gettimeofday () -. !started
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let jv_to_string = function
+    | I i -> string_of_int i
+    | F f ->
+        (* JSON has no inf/nan literals *)
+        if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+    | S s -> Printf.sprintf "\"%s\"" (escape s)
+    | B b -> string_of_bool b
+
+  (* One self-contained JSON object per line: experiment id, record kind,
+     wall-clock seconds since the experiment started, then the caller's
+     parameter/metric fields in order. *)
+  let emit ?(kind = "row") fields =
+    match !sink with
+    | None -> ()
+    | Some ch ->
+        let b = Buffer.create 128 in
+        Buffer.add_string b
+          (Printf.sprintf "{\"experiment\":\"%s\",\"kind\":\"%s\",\"wall_s\":%.3f"
+             (escape !experiment) (escape kind) (elapsed ()));
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b
+              (Printf.sprintf ",\"%s\":%s" (escape k) (jv_to_string v)))
+          fields;
+        Buffer.add_string b "}\n";
+        output_string ch (Buffer.contents b);
+        flush ch
+
+  let close () =
+    match !sink with
+    | None -> ()
+    | Some ch ->
+        close_out ch;
+        sink := None
+end
+
 type run_measure = {
   rounds : int;  (** decided round, or total if not terminated *)
   decided : bool;
@@ -19,11 +91,26 @@ type run_measure = {
 
 let measure ?on_round proto cfg ~adversary ~inputs =
   let o = Sim.Engine.run ?on_round proto cfg ~adversary ~inputs in
-  (match Sim.Engine.agreed_decision o with
-  | Some _ -> ()
-  | None ->
-      failwith
-        "experiment run violated consensus — this is a bug, please report");
+  (* Disagreement between processes that did decide is a protocol bug and
+     aborts the experiment; a run that merely ran out of rounds surfaces as
+     [decided = false] and is excluded from averages by [avg_runs]. *)
+  let disagreement =
+    let seen = ref None and bad = ref false in
+    Array.iteri
+      (fun pid d ->
+        if not o.Sim.Engine.faulty.(pid) then
+          match (d, !seen) with
+          | None, _ -> ()
+          | Some v, None -> seen := Some v
+          | Some v, Some w -> if v <> w then bad := true)
+      o.Sim.Engine.decisions;
+    !bad
+  in
+  if disagreement then
+    failwith "experiment run violated consensus — this is a bug, please report";
+  if o.Sim.Engine.decided_round <> None && Sim.Engine.agreed_decision o = None
+  then
+    failwith "experiment run violated consensus — this is a bug, please report";
   {
     rounds =
       (match o.Sim.Engine.decided_round with
@@ -37,15 +124,72 @@ let measure ?on_round proto cfg ~adversary ~inputs =
     faults = o.faults_used;
   }
 
-(* Average a measurement over seeds. *)
-let avg_measure ~seeds f =
-  let ms = List.map f seeds in
+(* Average a list of measurements, excluding runs that hit max_rounds
+   without deciding: their rounds column is a timeout artifact, not a
+   measurement, and silently averaging it in would corrupt the fitted
+   exponents. Excluded runs are surfaced with a warning (and a JSON
+   record), never dropped silently. *)
+let avg_runs ?(label = "") ms =
+  let total = List.length ms in
+  if total = 0 then invalid_arg "avg_runs: no measurements";
+  let decided, timed_out = List.partition (fun m -> m.decided) ms in
+  if timed_out <> [] then begin
+    Printf.printf
+      "  warning%s: %d/%d runs hit max_rounds without deciding; excluded \
+       from averages\n"
+      (if label = "" then "" else Printf.sprintf " (%s)" label)
+      (List.length timed_out) total;
+    Out.emit ~kind:"warning"
+      [
+        ("label", Out.S label);
+        ("non_terminated", Out.I (List.length timed_out));
+        ("runs", Out.I total);
+      ]
+  end;
+  let ms =
+    match decided with
+    | [] ->
+        failwith
+          (Printf.sprintf
+             "avg_runs%s: no run decided within max_rounds — raise max_rounds"
+             (if label = "" then "" else Printf.sprintf " (%s)" label))
+    | _ -> decided
+  in
   let n = float_of_int (List.length ms) in
   let favg g = List.fold_left (fun a m -> a +. float_of_int (g m)) 0. ms /. n in
   ( favg (fun m -> m.rounds),
     favg (fun m -> m.bits),
     favg (fun m -> m.rand_bits),
     favg (fun m -> m.messages) )
+
+(* Average a measurement over seeds; the runs fan out across the domain
+   pool (each is a pure function of its seed, so results are identical at
+   any --jobs). *)
+let avg_measure ?label ~seeds f = avg_runs ?label (Exec.map_list f seeds)
+
+(* Parallel parameter sweep: one pool task per (param, seed) pair — finer
+   grain than parallelizing over seeds alone — returning the per-param
+   measurement lists in sweep order. *)
+let sweep ~params ~seeds f =
+  let tasks =
+    List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) params
+  in
+  let ms = Exec.map_list (fun (p, s) -> f p s) tasks in
+  let per_seed = List.length seeds in
+  let rec split acc ms = function
+    | [] -> List.rev acc
+    | p :: ps ->
+        let rec take k rest taken =
+          if k = 0 then (List.rev taken, rest)
+          else
+            match rest with
+            | [] -> invalid_arg "sweep: result underrun"
+            | m :: rest -> take (k - 1) rest (m :: taken)
+        in
+        let taken, rest = take per_seed ms [] in
+        split ((p, taken) :: acc) rest ps
+  in
+  split [] ms params
 
 let optimal_run ?(adversary = Adversary.vote_splitter ()) ~n ~t ~seed () =
   let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in

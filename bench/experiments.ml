@@ -17,24 +17,37 @@ let t1_thm1 ~quick () =
   let seeds = [ 1; 2; 3 ] in
   row "%6s %5s %10s %14s %12s %10s\n" "n" "t" "rounds" "comm bits" "rand bits"
     "msgs";
+  let per_n =
+    sweep ~params:ns ~seeds (fun n seed ->
+        optimal_run ~n ~t:(max 1 (n / 31)) ~seed ())
+  in
   let rounds_s = ref [] and bits_s = ref [] and rand_s = ref [] in
   List.iter
-    (fun n ->
+    (fun (n, ms) ->
       let t = max 1 (n / 31) in
-      let r, b, rb, m =
-        avg_measure ~seeds (fun seed -> optimal_run ~n ~t ~seed ())
-      in
+      let r, b, rb, m = avg_runs ~label:(Printf.sprintf "n=%d" n) ms in
       rounds_s := r :: !rounds_s;
       bits_s := b :: !bits_s;
       rand_s := rb :: !rand_s;
-      row "%6d %5d %10.0f %14.0f %12.0f %10.0f\n" n t r b rb m)
-    ns;
+      row "%6d %5d %10.0f %14.0f %12.0f %10.0f\n" n t r b rb m;
+      Out.emit
+        [
+          ("n", Out.I n); ("t", Out.I t); ("rounds", Out.F r);
+          ("comm_bits", Out.F b); ("rand_bits", Out.F rb); ("msgs", Out.F m);
+        ])
+    per_n;
   let rounds_s = List.rev !rounds_s
   and bits_s = List.rev !bits_s
   and rand_s = List.rev !rand_s in
   let e_bits = fit_exponent ~log_power:3 ns bits_s in
   let e_rounds = fit_exponent ~log_power:2 ns rounds_s in
   let e_rand = fit_exponent ~log_power:1 ns rand_s in
+  Out.emit ~kind:"fit"
+    [
+      ("comm_bits_exponent", Out.F e_bits);
+      ("rounds_exponent", Out.F e_rounds);
+      ("rand_bits_exponent", Out.F e_rand);
+    ];
   Printf.printf
     "\nfitted growth exponents (polylog factors divided out first):\n";
   Printf.printf
@@ -70,29 +83,36 @@ let t1_thm3 ~quick () =
       subsection (Printf.sprintf "n = %d, t = %d" n (max 1 (n / 61)));
       row "%4s %8s %11s %11s %13s %14s\n" "x" "T" "R (bits)" "msgs"
         "comm bits" "T x max(R,1)";
-      List.iter
-        (fun x ->
-          if x <= n / 4 then begin
-            let t = max 1 (n / 61) in
+      let t = max 1 (n / 61) in
+      let xs = List.filter (fun x -> x <= n / 4) [ 1; 2; 4; 8; 16 ] in
+      let per_x =
+        sweep ~params:xs ~seeds:[ 1; 2; 3 ] (fun x seed ->
             let cfg0 = Sim.Config.make ~n ~t_max:t ~seed:0 () in
             let max_rounds =
               Consensus.Param_omissions.rounds_needed ~x cfg0 + 10
             in
-            let r, b, rb, m =
-              avg_measure ~seeds:[ 1; 2; 3 ] (fun seed ->
-                  let cfg =
-                    Sim.Config.make ~n ~t_max:t ~seed ~max_rounds ()
-                  in
-                  let proto = Consensus.Param_omissions.protocol ~x cfg in
-                  let inputs = Array.init n (fun i -> i mod 2) in
-                  measure proto cfg
-                    ~adversary:(Adversary.staggered_crash ~per_round:1)
-                    ~inputs)
-            in
-            row "%4d %8.0f %11.1f %11.0f %13.0f %14.0f\n" x r rb m b
-              (r *. Float.max rb 1.)
-          end)
-        [ 1; 2; 4; 8; 16 ])
+            let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds () in
+            let proto = Consensus.Param_omissions.protocol ~x cfg in
+            let inputs = Array.init n (fun i -> i mod 2) in
+            measure proto cfg
+              ~adversary:(Adversary.staggered_crash ~per_round:1)
+              ~inputs)
+      in
+      List.iter
+        (fun (x, ms) ->
+          let r, b, rb, m =
+            avg_runs ~label:(Printf.sprintf "n=%d x=%d" n x) ms
+          in
+          row "%4d %8.0f %11.1f %11.0f %13.0f %14.0f\n" x r rb m b
+            (r *. Float.max rb 1.);
+          Out.emit
+            [
+              ("n", Out.I n); ("t", Out.I t); ("x", Out.I x);
+              ("rounds", Out.F r); ("rand_bits", Out.F rb);
+              ("msgs", Out.F m); ("comm_bits", Out.F b);
+              ("time_x_rand", Out.F (r *. Float.max rb 1.));
+            ])
+        per_x)
     ns
 
 (* ------------------------------------------------------------------ *)
@@ -106,22 +126,29 @@ let t1_bjbo ~quick () =
      n/4.\nThe forced rounds track the t / sqrt(n log n) lower-bound shape.\n";
   let ns = if quick then [ 64; 144; 256 ] else [ 64; 144; 256; 400; 576 ] in
   row "%6s %5s %8s %18s %8s\n" "n" "t" "rounds" "t/sqrt(n log2 n)" "ratio";
+  let per_n =
+    sweep ~params:ns ~seeds:[ 1; 2; 3; 4; 5 ] (fun n seed ->
+        let t = n / 4 in
+        let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:5000 () in
+        let proto = Consensus.Bjbo.protocol cfg in
+        let inputs = Array.init n (fun i -> i mod 2) in
+        measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs)
+  in
   List.iter
-    (fun n ->
+    (fun (n, ms) ->
       let t = n / 4 in
-      let r, _, _, _ =
-        avg_measure ~seeds:[ 1; 2; 3; 4; 5 ] (fun seed ->
-            let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:5000 () in
-            let proto = Consensus.Bjbo.protocol cfg in
-            let inputs = Array.init n (fun i -> i mod 2) in
-            measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs)
-      in
+      let r, _, _, _ = avg_runs ~label:(Printf.sprintf "n=%d" n) ms in
       let shape =
         float_of_int t
         /. sqrt (float_of_int n *. (log (float_of_int n) /. log 2.))
       in
-      row "%6d %5d %8.1f %18.2f %8.2f\n" n t r shape (r /. shape))
-    ns;
+      row "%6d %5d %8.1f %18.2f %8.2f\n" n t r shape (r /. shape);
+      Out.emit
+        [
+          ("n", Out.I n); ("t", Out.I t); ("rounds", Out.F r);
+          ("lower_bound_shape", Out.F shape); ("ratio", Out.F (r /. shape));
+        ])
+    per_n;
   Printf.printf
     "(a roughly constant ratio column = the measured rounds follow the \
      lower-bound shape)\n"
@@ -143,52 +170,71 @@ let t1_abraham ~quick () =
     "msgs/t^2";
   let entry name t msgs =
     row "%-24s %5d %12d %12d %10.0f\n" name t msgs (t * t)
-      (float_of_int msgs /. float_of_int (t * t))
+      (float_of_int msgs /. float_of_int (t * t));
+    Out.emit
+      [
+        ("protocol", Out.S name); ("t", Out.I t); ("messages", Out.I msgs);
+        ("t_squared", Out.I (t * t));
+        ("msgs_per_t2", Out.F (float_of_int msgs /. float_of_int (t * t)));
+      ]
   in
-  let cfg = Sim.Config.make ~n ~t_max:t_opt ~seed:1 ~max_rounds:20000 () in
-  let m =
-    measure (Consensus.Optimal_omissions.protocol cfg) cfg
-      ~adversary:(Adversary.vote_splitter ())
-      ~inputs:(Array.init n (fun i -> i mod 2))
-  in
-  entry "optimal-omissions" t_opt m.messages;
-  let cfg0 = Sim.Config.make ~n ~t_max:t_opt ~seed:1 () in
-  let max_rounds = Consensus.Param_omissions.rounds_needed ~x:4 cfg0 + 5 in
-  let cfg = Sim.Config.make ~n ~t_max:t_opt ~seed:1 ~max_rounds () in
-  let m =
-    measure (Consensus.Param_omissions.protocol ~x:4 cfg) cfg
-      ~adversary:(Adversary.staggered_crash ~per_round:1)
-      ~inputs:(Array.init n (fun i -> i mod 2))
-  in
-  entry "param-omissions(x=4)" t_opt m.messages;
-  let cfg = Sim.Config.make ~n ~t_max:t_big ~seed:1 ~max_rounds:5000 () in
-  let m =
-    measure (Consensus.Bjbo.protocol cfg) cfg
-      ~adversary:(Adversary.vote_splitter ())
-      ~inputs:(Array.init n (fun i -> i mod 2))
-  in
-  entry "bjbo (crash baseline)" t_big m.messages;
-  let cfg = Sim.Config.make ~n ~t_max:t_big ~seed:1 ~max_rounds:5000 () in
-  let m =
-    measure (Consensus.Flood.protocol cfg) cfg
-      ~adversary:(Adversary.staggered_crash ~per_round:2)
-      ~inputs:(Array.init n (fun i -> i mod 2))
-  in
-  entry "flood-min (deterministic)" t_big m.messages;
   let n_ds = min n 100 in
   let t_ds = n_ds / 8 in
-  let cfg =
-    Sim.Config.make ~n:n_ds ~t_max:t_ds ~seed:1 ~max_rounds:(t_ds + 5) ()
+  (* five independent single runs: fan them across the pool, print in order *)
+  let tasks =
+    [|
+      (fun () ->
+        let cfg = Sim.Config.make ~n ~t_max:t_opt ~seed:1 ~max_rounds:20000 () in
+        (measure (Consensus.Optimal_omissions.protocol cfg) cfg
+           ~adversary:(Adversary.vote_splitter ())
+           ~inputs:(Array.init n (fun i -> i mod 2)))
+          .messages);
+      (fun () ->
+        let cfg0 = Sim.Config.make ~n ~t_max:t_opt ~seed:1 () in
+        let max_rounds = Consensus.Param_omissions.rounds_needed ~x:4 cfg0 + 5 in
+        let cfg = Sim.Config.make ~n ~t_max:t_opt ~seed:1 ~max_rounds () in
+        (measure (Consensus.Param_omissions.protocol ~x:4 cfg) cfg
+           ~adversary:(Adversary.staggered_crash ~per_round:1)
+           ~inputs:(Array.init n (fun i -> i mod 2)))
+          .messages);
+      (fun () ->
+        let cfg = Sim.Config.make ~n ~t_max:t_big ~seed:1 ~max_rounds:5000 () in
+        (measure (Consensus.Bjbo.protocol cfg) cfg
+           ~adversary:(Adversary.vote_splitter ())
+           ~inputs:(Array.init n (fun i -> i mod 2)))
+          .messages);
+      (fun () ->
+        let cfg = Sim.Config.make ~n ~t_max:t_big ~seed:1 ~max_rounds:5000 () in
+        (measure (Consensus.Flood.protocol cfg) cfg
+           ~adversary:(Adversary.staggered_crash ~per_round:2)
+           ~inputs:(Array.init n (fun i -> i mod 2)))
+          .messages);
+      (fun () ->
+        let cfg =
+          Sim.Config.make ~n:n_ds ~t_max:t_ds ~seed:1 ~max_rounds:(t_ds + 5) ()
+        in
+        (measure (Consensus.Dolev_strong.protocol cfg) cfg
+           ~adversary:(Adversary.random_omission ~p_omit:0.8)
+           ~inputs:(Array.init n_ds (fun i -> i mod 2)))
+          .messages);
+    |]
   in
-  let m =
-    measure (Consensus.Dolev_strong.protocol cfg) cfg
-      ~adversary:(Adversary.random_omission ~p_omit:0.8)
-      ~inputs:(Array.init n_ds (fun i -> i mod 2))
-  in
+  let msgs = Exec.map (fun f -> f ()) tasks in
+  entry "optimal-omissions" t_opt msgs.(0);
+  entry "param-omissions(x=4)" t_opt msgs.(1);
+  entry "bjbo (crash baseline)" t_big msgs.(2);
+  entry "flood-min (deterministic)" t_big msgs.(3);
   row "%-24s %5d %12d %12d %10.0f   (n=%d: n parallel broadcasts)\n"
-    "dolev-strong [15]" t_ds m.messages (t_ds * t_ds)
-    (float_of_int m.messages /. float_of_int (t_ds * t_ds))
+    "dolev-strong [15]" t_ds msgs.(4) (t_ds * t_ds)
+    (float_of_int msgs.(4) /. float_of_int (t_ds * t_ds))
     n_ds;
+  Out.emit
+    [
+      ("protocol", Out.S "dolev-strong"); ("t", Out.I t_ds);
+      ("messages", Out.I msgs.(4)); ("t_squared", Out.I (t_ds * t_ds));
+      ("msgs_per_t2", Out.F (float_of_int msgs.(4) /. float_of_int (t_ds * t_ds)));
+      ("n", Out.I n_ds);
+    ];
   Printf.printf
     "\nrounds comparison at the same (n, t): dolev-strong takes t+2 rounds \
      (Theta(n) at t = Theta(n))\nwhile Algorithm 1's schedule is \
@@ -211,17 +257,33 @@ let t1_thm2 ~quick () =
       subsection (Printf.sprintf "n = %d, t = %d" n t);
       row "%8s %8s %10s %14s %14s %7s\n" "k" "T" "R" "T x (R+T)"
         "t^2/log2 n" "ratio";
+      let seeds = [ 1; 2; 3; 4; 5 ] in
+      let per_k =
+        sweep ~params:[ 1; 4; 16; n ] ~seeds (fun k seed ->
+            Lowerbound.Product.run ~seed ~n ~t ~coin_set:k ())
+      in
       List.iter
-        (fun k ->
-          let tr, rr, pp =
-            Lowerbound.Product.run_avg ~seeds:5 ~n ~t ~coin_set:k ()
+        (fun (k, rs) ->
+          let avg g =
+            List.fold_left (fun a r -> a +. float_of_int (g r)) 0. rs
+            /. float_of_int (List.length rs)
           in
+          let tr = avg (fun r -> r.Lowerbound.Product.rounds) in
+          let rr = avg (fun r -> r.Lowerbound.Product.rand_calls) in
+          let pp = avg (fun r -> r.Lowerbound.Product.product) in
           let bound =
             float_of_int (t * t) /. (log (float_of_int n) /. log 2.)
           in
           row "%8d %8.1f %10.1f %14.0f %14.0f %7.1f\n" k tr rr pp bound
-            (pp /. bound))
-        [ 1; 4; 16; n ])
+            (pp /. bound);
+          Out.emit
+            [
+              ("n", Out.I n); ("t", Out.I t); ("k", Out.I k);
+              ("rounds", Out.F tr); ("rand_calls", Out.F rr);
+              ("product", Out.F pp); ("bound", Out.F bound);
+              ("ratio", Out.F (pp /. bound));
+            ])
+        per_k)
     ns;
   Printf.printf
     "\nReading: T falls as the per-round coin supply k grows (top rows), \
@@ -251,45 +313,60 @@ let b3 ~quick () =
   let ns = if quick then [ 64; 144; 256 ] else [ 64; 144; 256; 400 ] in
   row "%6s %5s %14s %14s %13s %13s %7s\n" "n" "t" "om total" "cr total"
     "om dissem" "cr dissem" "ratio";
-  List.iter
-    (fun n ->
-      let t = max 1 (n / 31) in
-      let seed = 1 in
-      let inputs = Array.init n (fun i -> i mod 2) in
-      let adversary = Adversary.staggered_crash ~per_round:1 in
-      (* Algorithm 1: dissemination = the line-14 broadcast slot *)
-      let members = Array.init n (fun i -> i) in
-      let params = Consensus.Params.default in
-      let sh = Consensus.Core.make_shared ~members ~seed ~params ~t_max:t () in
-      let v = Consensus.Core.rounds sh in
-      let om_dissem = ref 0 in
-      let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in
-      let m_om =
-        measure
-          ~on_round:(fun ~round envelopes ->
-            if round >= v then
-              Array.iter
-                (fun e -> om_dissem := !om_dissem + e.Sim.View.bits)
-                envelopes)
-          (Consensus.Optimal_omissions.protocol cfg)
-          cfg ~adversary ~inputs
-      in
-      (* crash variant: dissemination = the gossip + help slots *)
-      let cr_dissem = ref 0 in
-      let m_cr =
-        measure
-          ~on_round:(fun ~round envelopes ->
-            if round >= v then
-              Array.iter
-                (fun e -> cr_dissem := !cr_dissem + e.Sim.View.bits)
-                envelopes)
-          (Consensus.Crash_subquadratic.protocol cfg)
-          cfg ~adversary ~inputs
-      in
+  let results =
+    Exec.map
+      (fun n ->
+        let t = max 1 (n / 31) in
+        let seed = 1 in
+        let inputs = Array.init n (fun i -> i mod 2) in
+        let adversary = Adversary.staggered_crash ~per_round:1 in
+        (* Algorithm 1: dissemination = the line-14 broadcast slot *)
+        let members = Array.init n (fun i -> i) in
+        let params = Consensus.Params.default in
+        let sh = Consensus.Core.make_shared ~members ~seed ~params ~t_max:t () in
+        let v = Consensus.Core.rounds sh in
+        let om_dissem = ref 0 in
+        let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in
+        let m_om =
+          measure
+            ~on_round:(fun ~round envelopes ->
+              if round >= v then
+                Array.iter
+                  (fun e -> om_dissem := !om_dissem + e.Sim.View.bits)
+                  envelopes)
+            (Consensus.Optimal_omissions.protocol cfg)
+            cfg ~adversary ~inputs
+        in
+        (* crash variant: dissemination = the gossip + help slots *)
+        let cr_dissem = ref 0 in
+        let m_cr =
+          measure
+            ~on_round:(fun ~round envelopes ->
+              if round >= v then
+                Array.iter
+                  (fun e -> cr_dissem := !cr_dissem + e.Sim.View.bits)
+                  envelopes)
+            (Consensus.Crash_subquadratic.protocol cfg)
+            cfg ~adversary ~inputs
+        in
+        (n, t, m_om, m_cr, !om_dissem, !cr_dissem))
+      (Array.of_list ns)
+  in
+  Array.iter
+    (fun (n, t, m_om, m_cr, om_dissem, cr_dissem) ->
       row "%6d %5d %14d %14d %13d %13d %7.1f\n" n t m_om.bits m_cr.bits
-        !om_dissem !cr_dissem
-        (float_of_int !om_dissem /. float_of_int (max 1 !cr_dissem)))
-    ns;
+        om_dissem cr_dissem
+        (float_of_int om_dissem /. float_of_int (max 1 cr_dissem));
+      Out.emit
+        [
+          ("n", Out.I n); ("t", Out.I t);
+          ("omission_bits", Out.I m_om.bits); ("crash_bits", Out.I m_cr.bits);
+          ("omission_dissem_bits", Out.I om_dissem);
+          ("crash_dissem_bits", Out.I cr_dissem);
+          ("ratio",
+           Out.F (float_of_int om_dissem /. float_of_int (max 1 cr_dissem)));
+        ])
+    results;
   Printf.printf
     "(the dissemination ratio grows ~n/log^2 n: the crash variant sheds the \
      quadratic term,\n which the omission model provably cannot)\n"

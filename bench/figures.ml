@@ -13,7 +13,7 @@ let f1 ~quick () =
   let ns = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096 ] in
   row "%6s %8s %10s %7s %16s %10s\n" "n" "groups" "group sz" "Delta"
     "degree min/max" "edges";
-  List.iter
+  Exec.map
     (fun n ->
       let part = Groups.sqrt_partition (Array.init n (fun i -> i)) in
       let delta = Expander.default_delta n in
@@ -24,9 +24,19 @@ let f1 ~quick () =
         if d < !dmin then dmin := d;
         if d > !dmax then dmax := d
       done;
-      row "%6d %8d %10d %7d %10d/%-5d %10d\n" n (Groups.group_count part)
-        part.Groups.group_size delta !dmin !dmax (Expander.edge_count g))
-    ns;
+      (n, Groups.group_count part, part.Groups.group_size, delta, !dmin, !dmax,
+       Expander.edge_count g))
+    (Array.of_list ns)
+  |> Array.iter (fun (n, groups, gsize, delta, dmin, dmax, edges) ->
+         row "%6d %8d %10d %7d %10d/%-5d %10d\n" n groups gsize delta dmin
+           dmax edges;
+         Out.emit
+           [
+             ("n", Out.I n); ("groups", Out.I groups);
+             ("group_size", Out.I gsize); ("delta", Out.I delta);
+             ("degree_min", Out.I dmin); ("degree_max", Out.I dmax);
+             ("edges", Out.I edges);
+           ]);
   Printf.printf
     "(the overlay graph is independent of the decomposition, exactly as in \
      the figure)\n"
@@ -79,7 +89,14 @@ let f2 ~quick:_ () =
     in
     let msgs, bits = try Hashtbl.find trace slot with Not_found -> (0, 0) in
     row "%6d %-12s %10d %12d %14.0f\n" slot kind msgs bits
-      (float_of_int bits /. float_of_int (Groups.group_count part))
+      (float_of_int bits /. float_of_int (Groups.group_count part));
+    Out.emit
+      [
+        ("slot", Out.I slot); ("slot_kind", Out.S kind);
+        ("messages", Out.I msgs); ("bits", Out.I bits);
+        ("bits_per_group",
+         Out.F (float_of_int bits /. float_of_int (Groups.group_count part)));
+      ]
   done;
   let agg_bits =
     let acc = ref 0 in
@@ -91,6 +108,12 @@ let f2 ~quick:_ () =
     !acc
   in
   let log2n = log (float_of_int n) /. log 2. in
+  Out.emit ~kind:"fit"
+    [
+      ("n", Out.I n);
+      ("agg_bits_per_group", Out.I (agg_bits / Groups.group_count part));
+      ("lemma2_bound", Out.F (float_of_int n *. log2n *. log2n));
+    ];
   Printf.printf
     "\naggregation bits per group per epoch: %d (Lemma 2 bound shape: n \
      log^2 n = %.0f)\n"
@@ -145,8 +168,19 @@ let f3 ~quick () =
         (count (starts "coin"))
         (count (fun e ->
              let r = e.Consensus.Core.ev_rule in
-             String.length r > 8))
-    )
+             String.length r > 8));
+      Out.emit
+        [
+          ("epoch", Out.I ep); ("mean_ones_pct", Out.F (100. *. mean));
+          ("set_one", Out.I (count (starts "one")));
+          ("set_zero", Out.I (count (starts "zero")));
+          ("coin", Out.I (count (starts "coin")));
+          ("decided",
+           Out.I
+             (count (fun e ->
+                  let r = e.Consensus.Core.ev_rule in
+                  String.length r > 8)));
+        ])
     epochs;
   Printf.printf
     "\n(thresholds: >18/30 sets 1, <15/30 sets 0, the window flips the \
@@ -162,7 +196,7 @@ let g4 ~quick () =
   let ns = if quick then [ 128; 512 ] else [ 128; 512; 2048 ] in
   row "%6s %7s %9s %9s %9s %11s %7s\n" "n" "Delta" "deg-ok" "sparse"
     "expand" "core(n/15)" "ecc";
-  List.iter
+  Exec.map
     (fun n ->
       let delta = Expander.default_delta n in
       let g = Expander.create_good ~n ~delta ~seed:21L () in
@@ -187,10 +221,21 @@ let g4 ~quick () =
         | Some e -> string_of_int e
         | None -> "disc"
       in
-      row "%6d %7d %9b %9b %9b %6d/%-4d %7s\n" n delta deg sparse expand size
-        (n - (4 * (n / 15) / 3))
-        ecc)
-    ns;
+      (n, delta, deg, sparse, expand, size, ecc))
+    (Array.of_list ns)
+  |> Array.iter (fun (n, delta, deg, sparse, expand, size, ecc) ->
+         row "%6d %7d %9b %9b %9b %6d/%-4d %7s\n" n delta deg sparse expand
+           size
+           (n - (4 * (n / 15) / 3))
+           ecc;
+         Out.emit
+           [
+             ("n", Out.I n); ("delta", Out.I delta);
+             ("degree_ok", Out.B deg); ("sparse_ok", Out.B sparse);
+             ("expansion_ok", Out.B expand); ("core_size", Out.I size);
+             ("core_bound", Out.I (n - (4 * (n / 15) / 3)));
+             ("eccentricity", Out.S ecc);
+           ]);
   Printf.printf
     "(core column: Lemma 4 survivor count vs its n - 4/3 |T| bound; ecc: \
      the 'shallow'\n property — the pruned core keeps O(log n) diameter)\n"
@@ -205,17 +250,27 @@ let l12 ~quick () =
   let trials = if quick then 2000 else 5000 in
   row "%6s %9s %12s %12s %14s\n" "k" "alpha" "empirical" "8sqrt(k ln)"
     "empir/sqrt(k)";
-  List.iter
-    (fun k ->
-      List.iter
-        (fun alpha ->
-          let rand = Sim.Rand.create ~seed:55L () in
-          let h = Lowerbound.Coin_game.required_hides rand ~k ~alpha ~trials in
-          row "%6d %9.3f %12d %12.1f %14.2f\n" k alpha h
-            (Lowerbound.Coin_game.talagrand_budget ~k ~alpha)
-            (float_of_int h /. sqrt (float_of_int k)))
-        [ 0.25; 0.05; 0.01 ])
-    ks;
+  let grid =
+    List.concat_map
+      (fun k -> List.map (fun alpha -> (k, alpha)) [ 0.25; 0.05; 0.01 ])
+      ks
+  in
+  Exec.map
+    (fun (k, alpha) ->
+      let rand = Sim.Rand.create ~seed:55L () in
+      let h = Lowerbound.Coin_game.required_hides rand ~k ~alpha ~trials in
+      (k, alpha, h))
+    (Array.of_list grid)
+  |> Array.iter (fun (k, alpha, h) ->
+         let budget = Lowerbound.Coin_game.talagrand_budget ~k ~alpha in
+         row "%6d %9.3f %12d %12.1f %14.2f\n" k alpha h budget
+           (float_of_int h /. sqrt (float_of_int k));
+         Out.emit
+           [
+             ("k", Out.I k); ("alpha", Out.F alpha); ("hides", Out.I h);
+             ("talagrand_budget", Out.F budget);
+             ("hides_per_sqrt_k", Out.F (float_of_int h /. sqrt (float_of_int k)));
+           ]);
   Printf.printf
     "(empirical hides needed to bias with prob 1-alpha scale as sqrt(k \
      log(1/alpha)),\n inside the paper's 8 sqrt(k log(1/alpha)) budget — \
@@ -241,30 +296,43 @@ let valency ~quick:_ () =
   let game = { Lowerbound.Valency.n = 3; t = 1; horizon = 6 } in
   row "%10s %8s %8s %8s %10s %12s\n" "inputs" "force1" "force0" "stall"
     "disagree" "valence";
-  for mask = 0 to 7 do
-    let inputs = Array.init 3 (fun p -> (mask lsr p) land 1) in
-    let a = Lowerbound.Valency.analyze game ~inputs in
-    let v =
-      match Lowerbound.Valency.classify ~threshold:0.4 a with
-      | Lowerbound.Valency.Zero_valent -> "0-valent"
-      | One_valent -> "1-valent"
-      | Null_valent -> "null"
-      | Bivalent -> "bivalent"
-    in
-    row "%9d%d%d %8.3f %8.3f %8.3f %10.3f %12s\n" inputs.(0) inputs.(1)
-      inputs.(2) a.Lowerbound.Valency.force1 a.force0 a.stall a.disagree v
-  done;
+  Exec.init 8 (fun mask ->
+      let inputs = Array.init 3 (fun p -> (mask lsr p) land 1) in
+      let a = Lowerbound.Valency.analyze game ~inputs in
+      (inputs, a))
+  |> Array.iter (fun (inputs, a) ->
+         let v =
+           match Lowerbound.Valency.classify ~threshold:0.4 a with
+           | Lowerbound.Valency.Zero_valent -> "0-valent"
+           | One_valent -> "1-valent"
+           | Null_valent -> "null"
+           | Bivalent -> "bivalent"
+         in
+         row "%9d%d%d %8.3f %8.3f %8.3f %10.3f %12s\n" inputs.(0) inputs.(1)
+           inputs.(2) a.Lowerbound.Valency.force1 a.force0 a.stall a.disagree
+           v;
+         Out.emit
+           [
+             ("inputs",
+              Out.S (Printf.sprintf "%d%d%d" inputs.(0) inputs.(1) inputs.(2)));
+             ("force1", Out.F a.Lowerbound.Valency.force1);
+             ("force0", Out.F a.force0); ("stall", Out.F a.stall);
+             ("disagree", Out.F a.disagree); ("valence", Out.S v);
+           ]);
   Printf.printf
     "\n(unanimous inputs are uni-valent — validity, proved exhaustively; \
      mixed inputs are\nbivalent — the Lemma 13 starting point; disagree = 0 \
      everywhere — exhaustive safety)\n";
   Printf.printf "\nstall probability vs crash budget (inputs 101):\n";
   row "%6s %10s\n" "t" "stall";
-  List.iter
+  Exec.map
     (fun t ->
       let a =
         Lowerbound.Valency.analyze { game with Lowerbound.Valency.t }
           ~inputs:[| 1; 0; 1 |]
       in
-      row "%6d %10.3f\n" t a.Lowerbound.Valency.stall)
-    [ 0; 1; 2 ]
+      (t, a.Lowerbound.Valency.stall))
+    [| 0; 1; 2 |]
+  |> Array.iter (fun (t, stall) ->
+         row "%6d %10.3f\n" t stall;
+         Out.emit ~kind:"stall" [ ("t", Out.I t); ("stall", Out.F stall) ])

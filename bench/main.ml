@@ -6,7 +6,11 @@
      dune exec bench/main.exe                 # all experiments, default sizes
      dune exec bench/main.exe -- --quick      # smaller sweeps (CI)
      dune exec bench/main.exe -- --only t1-thm1,f3
-     dune exec bench/main.exe -- --micro      # also run bechamel benches *)
+     dune exec bench/main.exe -- --micro      # also run bechamel benches
+     dune exec bench/main.exe -- --jobs 4     # domain-pool width (results
+                                              # are identical at any width)
+     dune exec bench/main.exe -- --json out.json  # JSON-lines sink
+                                              # (default BENCH_consensus.json) *)
 
 let experiments =
   [
@@ -31,6 +35,8 @@ let () =
   let quick = ref false in
   let micro = ref None in
   let only = ref [] in
+  let jobs = ref 0 in
+  let json = ref "BENCH_consensus.json" in
   let spec =
     [
       ("--quick", Arg.Set quick, "smaller sweeps");
@@ -43,9 +49,21 @@ let () =
       ( "--no-micro",
         Arg.Unit (fun () -> micro := Some false),
         "skip bechamel micro-benchmarks" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  domains in the executor pool (default: recommended count; 1 = \
+         serial)" );
+      ( "--json",
+        Arg.Set_string json,
+        "FILE  JSON-lines results sink (default BENCH_consensus.json; \
+         \"\" disables)" );
     ]
   in
-  Arg.parse spec (fun _ -> ()) "bench/main.exe [--quick] [--only ids] [--micro]";
+  Arg.parse spec
+    (fun _ -> ())
+    "bench/main.exe [--quick] [--only ids] [--micro] [--jobs N] [--json FILE]";
+  Exec.set_default_jobs !jobs;
+  Bench_util.Out.set_path (if !json = "" then None else Some !json);
   let selected =
     match !only with
     | [] -> experiments
@@ -61,12 +79,24 @@ let () =
   in
   Printf.printf
     "Reproduction harness: Hajiaghayi, Kowalski, Olkowski — Nearly-Optimal \
-     Consensus\nTolerating Adaptive Omissions (PODC 2024). %s sweeps.\n"
-    (if !quick then "Quick" else "Default");
+     Consensus\nTolerating Adaptive Omissions (PODC 2024). %s sweeps, %d \
+     jobs.\n"
+    (if !quick then "Quick" else "Default")
+    (Exec.default_jobs ());
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ~quick:!quick ()) selected;
-  let run_micro =
-    match !micro with Some b -> b | None -> !only = []
-  in
+  List.iter
+    (fun (id, f) ->
+      Bench_util.Out.start_experiment id;
+      f ~quick:!quick ();
+      (* one summary record per experiment: wall_s is the experiment's
+         total wall-clock, stamped by emit *)
+      Bench_util.Out.emit ~kind:"summary"
+        [
+          ("quick", Bench_util.Out.B !quick);
+          ("jobs", Bench_util.Out.I (Exec.default_jobs ()));
+        ])
+    selected;
+  let run_micro = match !micro with Some b -> b | None -> !only = [] in
   if run_micro then Micro.benchmark ();
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  Bench_util.Out.close ()

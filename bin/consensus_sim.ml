@@ -125,12 +125,13 @@ let fuzz_protocols spec =
             (String.concat ", " (Harness.Registry.ids ()));
           exit 2)
 
-let fuzz_cmd count seed max_n protocol smoke =
+let fuzz_cmd count seed max_n protocol smoke jobs =
   let protocols = fuzz_protocols protocol in
   let count = if smoke then max count 1_000_000 else count in
   let time_budget = if smoke then Some 25.0 else None in
+  let jobs = if jobs <= 0 then Exec.default_jobs () else jobs in
   let result =
-    Harness.Fuzz.run ~protocols ~count ~seed ~max_n ?time_budget
+    Harness.Fuzz.run ~protocols ~count ~seed ~max_n ?time_budget ~jobs
       ~progress:(fun m -> Fmt.pr "fuzz: %s@." m)
       ()
   in
@@ -230,7 +231,15 @@ let fuzz_term =
       & info [ "smoke" ]
           ~doc:"CI soak mode: run as many scenarios as fit in ~25 s.")
   in
-  Term.(const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke)
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Domains in the executor pool (default: recommended count; 1 = \
+             serial; results are identical at any width).")
+  in
+  Term.(const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke $ jobs)
 
 let replay_term =
   let scenario =

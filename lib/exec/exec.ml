@@ -1,0 +1,56 @@
+(* Deterministic domain-pool executor: pre-indexed result slots + an atomic
+   work counter. See exec.mli for the determinism contract. *)
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* 0 means "use the recommended count"; set once from --jobs at startup. *)
+let default = ref 0
+
+let set_default_jobs n =
+  if n < 0 then invalid_arg "Exec.set_default_jobs: jobs must be >= 0";
+  default := n
+
+let default_jobs () = if !default <= 0 then recommended_jobs () else !default
+
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let mapi ?jobs f xs =
+  let n = Array.length xs in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Exec.mapi: jobs must be >= 1";
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.mapi f xs
+  else begin
+    let slots = Array.make n Empty in
+    let next = Atomic.make 0 in
+    (* Each worker claims the next unclaimed index; distinct indices mean
+       distinct slots, so workers never write the same cell. *)
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        slots.(i) <-
+          (match f i xs.(i) with
+          | v -> Value v
+          | exception e -> Raised (e, Printexc.get_raw_backtrace ()));
+        work ()
+      end
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join spawned;
+    (* In-order harvest: the lowest-indexed failure raises, deterministically. *)
+    Array.map
+      (function
+        | Value v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty -> assert false)
+      slots
+  end
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+let init ?jobs n f =
+  if n < 0 then invalid_arg "Exec.init: negative size";
+  mapi ?jobs (fun i () -> f i) (Array.make n ())

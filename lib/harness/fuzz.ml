@@ -65,69 +65,104 @@ let minimise ?(max_steps = 300) ~protocols (v : Runner.violation) s =
   go s v 0
 
 (** Run [count] generated scenarios (stopping early once [time_budget]
-    CPU-seconds have elapsed, if given) through the differential suite.
-    Every 25th scenario is additionally replayed twice for bit-identical
-    determinism. Returns the stats, or the first (shrunk) failure. *)
+    wall-clock seconds have elapsed, if given) through the differential
+    suite. Every 25th scenario is additionally replayed twice for
+    bit-identical determinism. Returns the stats, or the first (shrunk)
+    failure.
+
+    Scenarios are evaluated in batches fanned across the {!Exec} domain
+    pool. Each scenario is a pure function of [seed] and its index
+    ([Sim.Rand.derive] off a never-advancing root), so results are
+    identical at any [jobs]; the serial fold below consumes batch results
+    in index order, reproducing the serial loop's stats and
+    first-violation semantics exactly. *)
 let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
-    ?time_budget ?(progress = fun _ -> ()) () :
+    ?time_budget ?jobs ?(progress = fun _ -> ()) () :
     (stats, failure * stats) result =
   let stats = stats_zero () in
   let root = Sim.Rand.create ~seed:(Int64.of_int seed) () in
-  let started = Sys.time () in
+  let started = Unix.gettimeofday () in
   let out_of_time () =
     match time_budget with
-    | Some b -> Sys.time () -. started > b
+    | Some b -> Unix.gettimeofday () -. started > b
     | None -> false
+  in
+  let jobs = match jobs with Some j -> j | None -> Exec.default_jobs () in
+  let batch = max 1 (jobs * 4) in
+  (* which registry entry the serial loop's rotating determinism check
+     would pick for scenario [i] — pure in (i, s) *)
+  let det_entry i s =
+    if i mod 25 <> 0 then None
+    else
+      match
+        List.filter
+          (fun e -> s.Scenario.n >= e.Registry.min_n && Registry.in_model e s)
+          protocols
+      with
+      | [] -> None
+      | l -> Some (List.nth l (i / 25 mod List.length l))
+  in
+  let eval i =
+    let s = Scenario.generate ?max_n (Sim.Rand.derive root i) in
+    let report = Runner.run ~protocols s in
+    let violation =
+      match Runner.report_violations report with v :: _ -> Some v | [] -> None
+    in
+    (* the serial loop stops at a conformance violation before reaching the
+       determinism check, so don't spend the replays in that case *)
+    let det =
+      if violation <> None then None
+      else
+        match det_entry i s with
+        | None -> None
+        | Some e -> Some (Runner.determinism_violation e s)
+    in
+    (s, report, violation, det)
   in
   let exception Found of failure in
   try
     let i = ref 0 in
     while !i < count && not (out_of_time ()) do
-      let s = Scenario.generate ?max_n (Sim.Rand.derive root !i) in
-      let report = Runner.run ~protocols s in
-      stats.scenarios <- stats.scenarios + 1;
-      stats.runs <- stats.runs + List.length report.results;
-      stats.checked <-
-        stats.checked
-        + List.length
-            (List.filter (fun r -> r.Runner.checked) report.results);
-      (match Runner.report_violations report with
-      | v :: _ ->
-          let shrunk, v', steps = minimise ~protocols v s in
-          raise
-            (Found
-               { original = s; shrunk; violation = v'; shrink_steps = steps })
-      | [] -> ());
-      (* periodic determinism regression check, rotating over protocols *)
-      if !i mod 25 = 0 then begin
-        let in_model =
-          List.filter
-            (fun e ->
-              s.Scenario.n >= e.Registry.min_n && Registry.in_model e s)
-            protocols
-        in
-        match in_model with
-        | [] -> ()
-        | l -> (
-            let e = List.nth l (!i / 25 mod List.length l) in
-            stats.determinism_checks <- stats.determinism_checks + 1;
-            match Runner.determinism_violation e s with
-            | Some v ->
-                raise
-                  (Found
-                     {
-                       original = s;
-                       shrunk = s;
-                       violation = v;
-                       shrink_steps = 0;
-                     })
-            | None -> ())
-      end;
-      if (!i + 1) mod 50 = 0 then
-        progress
-          (Printf.sprintf "%d scenarios, %d protocol runs, %d checked"
-             stats.scenarios stats.runs stats.checked);
-      incr i
+      let hi = min count (!i + batch) in
+      let lo = !i in
+      let results = Exec.init ~jobs (hi - lo) (fun k -> eval (lo + k)) in
+      Array.iteri
+        (fun k (s, (report : Runner.report), violation, det) ->
+          let idx = lo + k in
+          stats.scenarios <- stats.scenarios + 1;
+          stats.runs <- stats.runs + List.length report.results;
+          stats.checked <-
+            stats.checked
+            + List.length
+                (List.filter (fun r -> r.Runner.checked) report.results);
+          (match violation with
+          | Some v ->
+              let shrunk, v', steps = minimise ~protocols v s in
+              raise
+                (Found
+                   { original = s; shrunk; violation = v'; shrink_steps = steps })
+          | None -> ());
+          (match det with
+          | None -> ()
+          | Some det_result -> (
+              stats.determinism_checks <- stats.determinism_checks + 1;
+              match det_result with
+              | Some v ->
+                  raise
+                    (Found
+                       {
+                         original = s;
+                         shrunk = s;
+                         violation = v;
+                         shrink_steps = 0;
+                       })
+              | None -> ()));
+          if (idx + 1) mod 50 = 0 then
+            progress
+              (Printf.sprintf "%d scenarios, %d protocol runs, %d checked"
+                 stats.scenarios stats.runs stats.checked))
+        results;
+      i := hi
     done;
     Ok stats
   with Found f -> Error (f, stats)

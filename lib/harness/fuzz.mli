@@ -38,10 +38,17 @@ val run :
   ?seed:int ->
   ?max_n:int ->
   ?time_budget:float ->
+  ?jobs:int ->
   ?progress:(string -> unit) ->
   unit ->
   (stats, failure * stats) result
 (** Run [count] generated scenarios (stopping early after [time_budget]
-    CPU-seconds, if given). Every 25th scenario is additionally replayed
-    twice for bit-identical determinism. Returns the stats, or the first
-    failure, already shrunk. *)
+    wall-clock seconds, if given). Every 25th scenario is additionally
+    replayed twice for bit-identical determinism. Returns the stats, or the
+    first failure, already shrunk.
+
+    Scenario batches fan out across [jobs] domains (default
+    {!Exec.default_jobs}); every scenario is a pure function of [seed] and
+    its index, and batch results are folded in index order, so the outcome
+    — stats, first violation, shrunk counterexample — is identical at any
+    [jobs]. [jobs = 1] is the serial loop. *)

@@ -12,6 +12,10 @@ module Counter = struct
   let charge t k =
     t.calls <- t.calls + 1;
     t.bits <- t.bits + k
+
+  (* Additional raw bits consumed within an already-charged call (rejection
+     re-draws): bits accrue without counting another call. *)
+  let charge_bits t k = t.bits <- t.bits + k
 end
 
 type t = { base : int64; mutable state : int64; counter : Counter.t }
@@ -55,13 +59,20 @@ let bits t k =
 let int_below t m =
   if m <= 0 then invalid_arg "Rand.int_below: bound must be positive";
   (* Number of bits needed to cover [0, m); rejection sampling keeps the
-     distribution exactly uniform. *)
+     distribution exactly uniform. One logical call, but every draw attempt
+     consumes k fresh bits from the source — rejected draws included —
+     so each re-draw is charged too, or rand_bits would undercount the
+     randomness the algorithm actually spent. *)
   let rec nbits acc v = if v = 0 then acc else nbits (acc + 1) (v lsr 1) in
   let k = max 1 (nbits 0 (m - 1)) in
   Counter.charge t.counter k;
   let rec draw () =
     let v = raw_bits t k in
-    if v < m then v else draw ()
+    if v < m then v
+    else begin
+      Counter.charge_bits t.counter k;
+      draw ()
+    end
   in
   draw ()
 

@@ -36,10 +36,15 @@ val bits : t -> int -> int
     non-negative integer. *)
 
 val int_below : t -> int -> int
-(** [int_below t m] is one call returning a uniform value in [0, m). *)
+(** [int_below t m] is one call returning a uniform value in [0, m), by
+    rejection sampling over the smallest [k] with [2^k >= m]. Every draw
+    attempt consumes (and charges) [k] bits — rejected draws included — so
+    the counted bits match the randomness actually drawn from the source;
+    only the call count stays at one. *)
 
 val float : t -> float
 (** One call returning a uniform float in [0, 1). *)
 
 val shuffle : t -> 'a array -> unit
-(** Fisher-Yates shuffle; charges one call per element. *)
+(** Fisher-Yates shuffle; charges one call per element (plus any rejection
+    re-draw bits, as in {!int_below}). *)

@@ -21,11 +21,20 @@ let stddev xs = sqrt (variance xs)
 let quantile q xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.quantile: empty";
-  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  (* NaN fails every comparison, so range-check by negation; a NaN q or
+     input would otherwise slip through and poison the interpolation. *)
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Stats.quantile: q outside [0,1]";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.quantile: NaN input")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
-  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  (* clamp: float rounding in [q *. (n-1)] must never index past n-1 *)
+  let clamp i = if i < 0 then 0 else if i > n - 1 then n - 1 else i in
+  let lo = clamp (int_of_float (floor pos))
+  and hi = clamp (int_of_float (ceil pos)) in
   if lo = hi then sorted.(lo)
   else begin
     let w = pos -. float_of_int lo in
@@ -70,6 +79,14 @@ let loglog_fit xs ys =
     factor [log^k n] divided out first — used to compare a measured series
     against a claimed complexity like O(sqrt n * log^2 n). *)
 let growth_exponent ?(log_power = 0) ns ys =
+  if log_power > 0 then
+    Array.iter
+      (fun n ->
+        (* log 1 = 0: dividing by (log n)^k would feed inf/NaN into
+           loglog_fit and silently corrupt the fitted exponent *)
+        if n <= 1. then
+          invalid_arg "Stats.growth_exponent: n <= 1 with log_power > 0")
+      ns;
   let adjust n y = y /. (log n ** float_of_int log_power) in
   let ys' = Array.mapi (fun i y -> adjust ns.(i) y) ys in
   (loglog_fit ns ys').slope

@@ -10,7 +10,9 @@ val variance : float array -> float
 val stddev : float array -> float
 
 val quantile : float -> float array -> float
-(** Linear-interpolation quantile; [q] in [0, 1]. *)
+(** Linear-interpolation quantile; [q] in [0, 1]. Sorts with
+    [Float.compare]; raises [Invalid_argument] on an empty array, a [q]
+    outside [0, 1] (NaN included), or any NaN input. *)
 
 val median : float array -> float
 
@@ -26,6 +28,8 @@ val loglog_fit : float array -> float array -> fit
 
 val growth_exponent : ?log_power:int -> float array -> float array -> float
 (** Growth exponent of [ys] versus [ns] after dividing out [log^k n] —
-    compares a measured series against a claim like O(sqrt n * log^2 n). *)
+    compares a measured series against a claim like O(sqrt n * log^2 n).
+    With [log_power > 0], any [n <= 1] raises [Invalid_argument]
+    ([log 1 = 0] would otherwise divide to infinity and corrupt the fit). *)
 
 val pp_fit : Format.formatter -> fit -> unit

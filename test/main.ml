@@ -3,6 +3,7 @@ let () =
     [
       ("rand", Test_rand.suite);
       ("stats", Test_stats.suite);
+      ("exec", Test_exec.suite);
       ("expander", Test_expander.suite);
       ("groups", Test_groups.suite);
       ("engine", Test_engine.suite);

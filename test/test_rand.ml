@@ -56,6 +56,45 @@ let test_private_counter () =
   check Alcotest.int "private counter counts" 1
     (Sim.Rand.Counter.calls (Sim.Rand.counter a))
 
+let test_int_below_rejection_bits () =
+  (* m = 5 needs k = 3 bits per attempt and rejects 3 of 8 raw values, so
+     over many calls the counted bits must strictly exceed the old
+     per-call charge of k — the re-draws are real randomness spent. *)
+  let c = Sim.Rand.Counter.create () in
+  let r = Sim.Rand.create ~counter:c ~seed:9L () in
+  let calls = 2_000 in
+  for _ = 1 to calls do
+    ignore (Sim.Rand.int_below r 5)
+  done;
+  let k = 3 in
+  Alcotest.(check int) "one call per int_below" calls
+    (Sim.Rand.Counter.calls c);
+  Alcotest.(check bool)
+    (Printf.sprintf "bits %d > old per-call charge %d"
+       (Sim.Rand.Counter.bits c) (calls * k))
+    true
+    (Sim.Rand.Counter.bits c > calls * k);
+  (* bits are charged in whole attempts: k bits per draw, >= 1 draw/call *)
+  Alcotest.(check int) "bits are a multiple of k" 0
+    (Sim.Rand.Counter.bits c mod k);
+  (* acceptance probability is 5/8, so attempts/call averages 8/5 = 1.6 *)
+  let attempts = Sim.Rand.Counter.bits c / k in
+  let per_call = float_of_int attempts /. float_of_int calls in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean attempts/call %.2f near 1.6" per_call)
+    true
+    (per_call > 1.45 && per_call < 1.75)
+
+let test_int_below_exact_power_of_two_bits () =
+  (* a power-of-two bound never rejects: exactly k bits per call *)
+  let c = Sim.Rand.Counter.create () in
+  let r = Sim.Rand.create ~counter:c ~seed:9L () in
+  for _ = 1 to 500 do
+    ignore (Sim.Rand.int_below r 8)
+  done;
+  Alcotest.(check int) "exactly 3 bits per call" (500 * 3)
+    (Sim.Rand.Counter.bits c)
+
 let test_bit_balance () =
   let r = Sim.Rand.create ~seed:11L () in
   let ones = ref 0 in
@@ -137,6 +176,10 @@ let suite =
     Alcotest.test_case "counting" `Quick test_counting;
     Alcotest.test_case "private counter" `Quick test_private_counter;
     Alcotest.test_case "bit balance" `Quick test_bit_balance;
+    Alcotest.test_case "int_below charges rejection re-draws" `Quick
+      test_int_below_rejection_bits;
+    Alcotest.test_case "int_below power-of-two bound charges exactly k" `Quick
+      test_int_below_exact_power_of_two_bits;
     Alcotest.test_case "int_below uniform" `Quick test_int_below_uniform;
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "bits invalid args" `Quick test_bits_invalid;

@@ -32,7 +32,24 @@ let test_quantile_invalid () =
       ignore (Stats.quantile 1.5 [| 1. |]));
   Alcotest.check_raises "empty"
     (Invalid_argument "Stats.quantile: empty") (fun () ->
-      ignore (Stats.quantile 0.5 [||]))
+      ignore (Stats.quantile 0.5 [||]));
+  Alcotest.check_raises "NaN q rejected"
+    (Invalid_argument "Stats.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.quantile Float.nan [| 1.; 2. |]));
+  Alcotest.check_raises "NaN input rejected"
+    (Invalid_argument "Stats.quantile: NaN input") (fun () ->
+      ignore (Stats.quantile 0.5 [| 1.; Float.nan; 3. |]))
+
+let test_quantile_boundaries () =
+  (* q at and next to the extremes must hit the end slots, never index
+     past n-1 through float rounding of q * (n-1) *)
+  let xs = Array.init 97 (fun i -> float_of_int i) in
+  Alcotest.check feq "q=1 is max" 96. (Stats.quantile 1. xs);
+  Alcotest.check feq "q=0 is min" 0. (Stats.quantile 0. xs);
+  let below_one = Float.pred 1. in
+  let v = Stats.quantile below_one xs in
+  Alcotest.(check bool) "q just below 1 stays in range" true
+    (v >= 95. && v <= 96.)
 
 let test_linear_fit () =
   let xs = [| 1.; 2.; 3.; 4. |] in
@@ -68,6 +85,18 @@ let test_growth_exponent () =
   let e' = Stats.growth_exponent ns ys in
   Alcotest.(check bool) "uncorrected exponent > 2" true (e' > 2.1)
 
+let test_growth_exponent_degenerate () =
+  (* n = 1 makes the polylog divisor log^k 1 = 0: must be rejected, not
+     fed into loglog_fit as infinity *)
+  Alcotest.check_raises "n = 1 with log_power > 0"
+    (Invalid_argument "Stats.growth_exponent: n <= 1 with log_power > 0")
+    (fun () ->
+      ignore
+        (Stats.growth_exponent ~log_power:2 [| 1.; 2.; 4. |] [| 1.; 2.; 4. |]));
+  (* log_power = 0 divides by (log n)^0 = 1, so n = 1 stays legal there *)
+  let e = Stats.growth_exponent [| 1.; 2.; 4. |] [| 2.; 4.; 8. |] in
+  Alcotest.(check bool) "log_power 0 unaffected" true (abs_float (e -. 1.) < 0.01)
+
 let qcheck_quantile_monotone =
   QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
     QCheck.(pair (array_of_size Gen.(1 -- 40) (float_bound_exclusive 100.))
@@ -95,6 +124,9 @@ let suite =
     Alcotest.test_case "median" `Quick test_median;
     Alcotest.test_case "quantile" `Quick test_quantile;
     Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+    Alcotest.test_case "quantile boundaries" `Quick test_quantile_boundaries;
+    Alcotest.test_case "growth exponent degenerate" `Quick
+      test_growth_exponent_degenerate;
     Alcotest.test_case "linear fit exact" `Quick test_linear_fit;
     Alcotest.test_case "linear fit noisy" `Quick test_linear_fit_noise;
     Alcotest.test_case "loglog fit" `Quick test_loglog_fit;
