@@ -39,7 +39,13 @@ let abl_delta ~quick () =
   let t = max 1 (n / 31) in
   row "%8s %8s %10s %14s %14s %8s\n" "c" "Delta" "rounds" "comm bits"
     "min operative" "n-3t";
-  Exec.map
+  Supervise.map ~budget:!budget
+    ~describe:(fun _ c ->
+      {
+        Supervise.d_label = Printf.sprintf "abl-delta/c=%d" c;
+        d_seed = Some 1;
+        d_replay = Some "dune exec bench/main.exe -- --only abl-delta";
+      })
     (fun c ->
       let params = { Consensus.Params.default with Consensus.Params.delta_c = c } in
       let m, min_ops =
@@ -48,16 +54,18 @@ let abl_delta ~quick () =
       in
       (c, Consensus.Params.delta params ~n, m, min_ops))
     [| 2; 4; 8; 12 |]
-  |> Array.iter (fun (c, delta, m, min_ops) ->
-         row "%8d %8d %10d %14d %14d %8d\n" c delta m.rounds m.bits min_ops
-           (n - (3 * t));
-         Out.emit
-           [
-             ("c", Out.I c); ("delta", Out.I delta);
-             ("rounds", Out.I m.rounds); ("comm_bits", Out.I m.bits);
-             ("min_operative", Out.I min_ops);
-             ("operative_bound", Out.I (n - (3 * t)));
-           ])
+  |> Array.iter (function
+       | Error fl -> quarantine fl
+       | Ok (c, delta, m, min_ops) ->
+           row "%8d %8d %10d %14d %14d %8d\n" c delta m.rounds m.bits min_ops
+             (n - (3 * t));
+           Out.emit
+             [
+               ("c", Out.I c); ("delta", Out.I delta);
+               ("rounds", Out.I m.rounds); ("comm_bits", Out.I m.bits);
+               ("min_operative", Out.I min_ops);
+               ("operative_bound", Out.I (n - (3 * t)));
+             ])
 
 (* A2: spreading rounds multiplier. *)
 let abl_spread ~quick () =
@@ -70,7 +78,13 @@ let abl_spread ~quick () =
   let t = max 1 (n / 31) in
   row "%8s %10s %10s %14s %14s\n" "c" "rounds" "decided" "comm bits"
     "min operative";
-  Exec.map
+  Supervise.map ~budget:!budget
+    ~describe:(fun _ c ->
+      {
+        Supervise.d_label = Printf.sprintf "abl-spread/c=%d" c;
+        d_seed = Some 1;
+        d_replay = Some "dune exec bench/main.exe -- --only abl-spread";
+      })
     (fun c ->
       let params = { Consensus.Params.default with Consensus.Params.spread_c = c } in
       let m, min_ops =
@@ -79,14 +93,16 @@ let abl_spread ~quick () =
       in
       (c, m, min_ops))
     [| 1; 2; 4 |]
-  |> Array.iter (fun (c, m, min_ops) ->
-         row "%8d %10d %10b %14d %14d\n" c m.rounds m.decided m.bits min_ops;
-         Out.emit
-           [
-             ("c", Out.I c); ("rounds", Out.I m.rounds);
-             ("decided", Out.B m.decided); ("comm_bits", Out.I m.bits);
-             ("min_operative", Out.I min_ops);
-           ])
+  |> Array.iter (function
+       | Error fl -> quarantine fl
+       | Ok (c, m, min_ops) ->
+           row "%8d %10d %10b %14d %14d\n" c m.rounds m.decided m.bits min_ops;
+           Out.emit
+             [
+               ("c", Out.I c); ("rounds", Out.I m.rounds);
+               ("decided", Out.B m.decided); ("comm_bits", Out.I m.bits);
+               ("min_operative", Out.I min_ops);
+             ])
 
 (* A3: epoch count vs fallback engagement. *)
 let abl_epochs ~quick () =
@@ -102,8 +118,20 @@ let abl_epochs ~quick () =
      mean the fallback ran *)
   row "%8s %12s %16s %12s\n" "epochs" "avg rounds" "fallback runs"
     "avg bits";
+  let epoch_codec =
+    ( (fun (m, fb) -> measure_to_string m ^ ";" ^ string_of_bool fb),
+      fun s ->
+        match String.split_on_char ';' s with
+        | [ ms; fb ] -> (
+            try
+              Option.map (fun m -> (m, bool_of_string fb)) (measure_of_string ms)
+            with _ -> None)
+        | _ -> None )
+  in
   let per_e =
-    sweep ~params:[ 1; 2; 4; 8; 12 ] ~seeds (fun e seed ->
+    sweep ~codec:epoch_codec
+      ~point:(fun e -> Printf.sprintf "epochs=%d" e)
+      ~params:[ 1; 2; 4; 8; 12 ] ~seeds (fun e seed ->
         let params =
           { Consensus.Params.default with Consensus.Params.epochs = Consensus.Params.Fixed e }
         in
@@ -121,6 +149,11 @@ let abl_epochs ~quick () =
   in
   List.iter
     (fun (e, results) ->
+      if results = [] then
+        skip_point
+          ~label:(Printf.sprintf "epochs=%d" e)
+          ~reason:"no surviving runs (all quarantined)"
+      else
       let fallbacks =
         List.length (List.filter (fun (_, fb) -> fb) results)
       in

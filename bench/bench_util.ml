@@ -1,4 +1,6 @@
-(* Shared plumbing for the experiment harness. *)
+(* Shared plumbing for the experiment harness: stdout tables, the
+   JSON-lines results sink, and the supervision glue — quarantined sweeps,
+   watchdog budgets, and the checkpoint journal behind --resume. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -18,6 +20,12 @@ module Out = struct
   let sink : out_channel option ref = ref None
   let experiment = ref ""
   let started = ref 0.
+
+  (* stable mode omits the wall_s stamp from every record, so two runs of
+     the same campaign — e.g. interrupted-then-resumed vs uninterrupted —
+     produce byte-identical files *)
+  let stable = ref false
+  let set_stable b = stable := b
 
   let set_path = function
     | None -> sink := None
@@ -52,16 +60,18 @@ module Out = struct
     | B b -> string_of_bool b
 
   (* One self-contained JSON object per line: experiment id, record kind,
-     wall-clock seconds since the experiment started, then the caller's
-     parameter/metric fields in order. *)
+     wall-clock seconds since the experiment started (unless in stable
+     mode), then the caller's parameter/metric fields in order. *)
   let emit ?(kind = "row") fields =
     match !sink with
     | None -> ()
     | Some ch ->
         let b = Buffer.create 128 in
         Buffer.add_string b
-          (Printf.sprintf "{\"experiment\":\"%s\",\"kind\":\"%s\",\"wall_s\":%.3f"
-             (escape !experiment) (escape kind) (elapsed ()));
+          (Printf.sprintf "{\"experiment\":\"%s\",\"kind\":\"%s\""
+             (escape !experiment) (escape kind));
+        if not !stable then
+          Buffer.add_string b (Printf.sprintf ",\"wall_s\":%.3f" (elapsed ()));
         List.iter
           (fun (k, v) ->
             Buffer.add_string b
@@ -79,6 +89,106 @@ module Out = struct
         sink := None
 end
 
+(* ------------------------------------------------------------------ *)
+(* Supervision state: watchdog budget, quarantine ledger, journal.     *)
+(* ------------------------------------------------------------------ *)
+
+(* wired from --wall-budget / --round-budget / --msg-budget / --rand-budget *)
+let budget = ref Supervise.Budget.unlimited
+
+(* the checkpoint journal behind --resume, or None when disabled *)
+let journal : Supervise.Journal.t option ref = ref None
+
+let enable_journal ~path ~resume =
+  let j = Supervise.Journal.open_ ~path ~resume in
+  if resume then begin
+    Printf.printf "resume: %d journaled rows loaded from %s%s\n"
+      (Supervise.Journal.entries j)
+      path
+      (match Supervise.Journal.corrupt j with
+      | 0 -> ""
+      | c -> Printf.sprintf " (%d corrupt lines skipped)" c);
+    if Supervise.Journal.corrupt j > 0 then
+      Out.emit ~kind:"journal-corrupt"
+        [ ("skipped_lines", Out.I (Supervise.Journal.corrupt j)) ]
+  end;
+  journal := Some j
+
+let close_journal () =
+  match !journal with
+  | None -> ()
+  | Some j ->
+      Supervise.Journal.close j;
+      journal := None
+
+(* quarantined tasks + skipped points, for the end-of-campaign summary *)
+let quarantined = ref 0
+let skipped_points = ref 0
+let failures () = !quarantined + !skipped_points
+
+let quarantine (f : Supervise.failure) =
+  incr quarantined;
+  Printf.printf "  QUARANTINED %s: %s\n" f.Supervise.label
+    (Fmt.str "%a" Supervise.pp_failure_kind f.Supervise.kind);
+  (match f.Supervise.replay with
+  | Some cmd -> Printf.printf "    replay: %s\n" cmd
+  | None -> ());
+  let base =
+    [ ("label", Out.S f.Supervise.label); ("index", Out.I f.Supervise.index) ]
+  in
+  let seed =
+    match f.Supervise.seed with Some s -> [ ("seed", Out.I s) ] | None -> []
+  in
+  let replay =
+    match f.Supervise.replay with
+    | Some c -> [ ("replay", Out.S c) ]
+    | None -> []
+  in
+  let kind =
+    match f.Supervise.kind with
+    | Supervise.Crashed { exn_text; _ } ->
+        [ ("failure", Out.S "crashed"); ("exn", Out.S exn_text) ]
+    | Supervise.Timeout { limit_s; elapsed_s } ->
+        [
+          ("failure", Out.S "timeout"); ("limit_s", Out.F limit_s);
+          ("timeout_elapsed_s", Out.F elapsed_s);
+        ]
+    | Supervise.Budget_exceeded { metric; limit; actual; at_round } ->
+        [
+          ("failure", Out.S "budget_exceeded"); ("metric", Out.S metric);
+          ("limit", Out.F limit); ("actual", Out.F actual);
+          ("at_round", Out.I at_round);
+        ]
+  in
+  Out.emit ~kind:"quarantine" (base @ seed @ replay @ kind)
+
+let skip_point ~label ~reason =
+  incr skipped_points;
+  Printf.printf "  SKIPPED%s: %s\n"
+    (if label = "" then "" else Printf.sprintf " (%s)" label)
+    reason;
+  Out.emit ~kind:"skip" [ ("label", Out.S label); ("reason", Out.S reason) ]
+
+(* Printed by bench/main.exe after the campaign; pairs with a non-zero
+   exit so CI notices partial results. *)
+let print_failure_summary () =
+  if failures () > 0 then begin
+    Printf.printf
+      "\nWARNING: partial results — %d task(s) quarantined, %d point(s) \
+       skipped.\nQuarantine records (with replay commands) are in the JSON \
+       sink under kind=\"quarantine\".\n"
+      !quarantined !skipped_points;
+    Out.emit ~kind:"failure-summary"
+      [
+        ("quarantined", Out.I !quarantined);
+        ("skipped_points", Out.I !skipped_points);
+      ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Measurements.                                                       *)
+(* ------------------------------------------------------------------ *)
+
 type run_measure = {
   rounds : int;  (** decided round, or total if not terminated *)
   decided : bool;
@@ -89,11 +199,23 @@ type run_measure = {
   faults : int;
 }
 
+exception Violation of string
+(* A run on which the non-faulty processes disagreed: a protocol bug. The
+   supervision layer quarantines it — one bad point must not kill the
+   campaign — but it is always reported, never averaged over. *)
+
 let measure ?on_round proto cfg ~adversary ~inputs =
-  let o = Sim.Engine.run ?on_round proto cfg ~adversary ~inputs in
-  (* Disagreement between processes that did decide is a protocol bug and
-     aborts the experiment; a run that merely ran out of rounds surfaces as
-     [decided = false] and is excluded from averages by [avg_runs]. *)
+  let o =
+    match
+      Supervise.run ?on_round ~budget:!budget proto cfg ~adversary ~inputs
+    with
+    | Ok o -> o
+    | Error (kind, _partial) -> raise (Supervise.Breach kind)
+  in
+  (* Disagreement between processes that did decide is a protocol bug; it
+     becomes a quarantined failure under Supervise.map. A run that merely
+     ran out of rounds surfaces as [decided = false] and is excluded from
+     averages by [avg_runs]. *)
   let disagreement =
     let seen = ref None and bad = ref false in
     Array.iteri
@@ -107,10 +229,10 @@ let measure ?on_round proto cfg ~adversary ~inputs =
     !bad
   in
   if disagreement then
-    failwith "experiment run violated consensus — this is a bug, please report";
+    raise (Violation "run violated consensus — this is a bug, please report");
   if o.Sim.Engine.decided_round <> None && Sim.Engine.agreed_decision o = None
   then
-    failwith "experiment run violated consensus — this is a bug, please report";
+    raise (Violation "run violated consensus — this is a bug, please report");
   {
     rounds =
       (match o.Sim.Engine.decided_round with
@@ -124,72 +246,181 @@ let measure ?on_round proto cfg ~adversary ~inputs =
     faults = o.faults_used;
   }
 
+(* journal codec for run_measure; the decoder rejects torn rows *)
+let measure_to_string m =
+  Printf.sprintf "%d %b %d %d %d %d %d" m.rounds m.decided m.messages m.bits
+    m.rand_calls m.rand_bits m.faults
+
+let measure_of_string s =
+  match String.split_on_char ' ' s with
+  | [ r; d; ms; b; rc; rb; f ] -> (
+      try
+        Some
+          {
+            rounds = int_of_string r;
+            decided = bool_of_string d;
+            messages = int_of_string ms;
+            bits = int_of_string b;
+            rand_calls = int_of_string rc;
+            rand_bits = int_of_string rb;
+            faults = int_of_string f;
+          }
+      with _ -> None)
+  | _ -> None
+
+let measure_codec = (measure_to_string, measure_of_string)
+
 (* Average a list of measurements, excluding runs that hit max_rounds
    without deciding: their rounds column is a timeout artifact, not a
    measurement, and silently averaging it in would corrupt the fitted
-   exponents. Excluded runs are surfaced with a warning (and a JSON
-   record), never dropped silently. *)
+   exponents. Returns [None] — a skipped point, reported and counted, the
+   campaign continues — when no measurement survives, either because every
+   run was quarantined upstream or because none decided in time. *)
 let avg_runs ?(label = "") ms =
   let total = List.length ms in
-  if total = 0 then invalid_arg "avg_runs: no measurements";
-  let decided, timed_out = List.partition (fun m -> m.decided) ms in
-  if timed_out <> [] then begin
-    Printf.printf
-      "  warning%s: %d/%d runs hit max_rounds without deciding; excluded \
-       from averages\n"
-      (if label = "" then "" else Printf.sprintf " (%s)" label)
-      (List.length timed_out) total;
-    Out.emit ~kind:"warning"
-      [
-        ("label", Out.S label);
-        ("non_terminated", Out.I (List.length timed_out));
-        ("runs", Out.I total);
-      ]
-  end;
-  let ms =
+  if total = 0 then begin
+    skip_point ~label ~reason:"no surviving runs (all quarantined)";
+    None
+  end
+  else begin
+    let decided, timed_out = List.partition (fun m -> m.decided) ms in
+    if timed_out <> [] && decided <> [] then begin
+      Printf.printf
+        "  warning%s: %d/%d runs hit max_rounds without deciding; excluded \
+         from averages\n"
+        (if label = "" then "" else Printf.sprintf " (%s)" label)
+        (List.length timed_out) total;
+      Out.emit ~kind:"warning"
+        [
+          ("label", Out.S label);
+          ("non_terminated", Out.I (List.length timed_out));
+          ("runs", Out.I total);
+        ]
+    end;
     match decided with
     | [] ->
-        failwith
-          (Printf.sprintf
-             "avg_runs%s: no run decided within max_rounds — raise max_rounds"
-             (if label = "" then "" else Printf.sprintf " (%s)" label))
-    | _ -> decided
-  in
-  let n = float_of_int (List.length ms) in
-  let favg g = List.fold_left (fun a m -> a +. float_of_int (g m)) 0. ms /. n in
-  ( favg (fun m -> m.rounds),
-    favg (fun m -> m.bits),
-    favg (fun m -> m.rand_bits),
-    favg (fun m -> m.messages) )
+        skip_point ~label
+          ~reason:"no run decided within max_rounds — raise max_rounds";
+        None
+    | ms ->
+        let n = float_of_int (List.length ms) in
+        let favg g =
+          List.fold_left (fun a m -> a +. float_of_int (g m)) 0. ms /. n
+        in
+        Some
+          ( favg (fun m -> m.rounds),
+            favg (fun m -> m.bits),
+            favg (fun m -> m.rand_bits),
+            favg (fun m -> m.messages) )
+  end
 
-(* Average a measurement over seeds; the runs fan out across the domain
-   pool (each is a pure function of its seed, so results are identical at
-   any --jobs). *)
-let avg_measure ?label ~seeds f = avg_runs ?label (Exec.map_list f seeds)
+(* ------------------------------------------------------------------ *)
+(* Supervised parameter sweeps.                                        *)
+(* ------------------------------------------------------------------ *)
 
 (* Parallel parameter sweep: one pool task per (param, seed) pair — finer
    grain than parallelizing over seeds alone — returning the per-param
-   measurement lists in sweep order. *)
-let sweep ~params ~seeds f =
+   result lists in sweep order, successes only. Failed tasks are
+   quarantined (reported + counted, with a replay command when [replay] is
+   given), so the sweep always completes its surviving points.
+
+   [point] names a parameter for journal keys and quarantine labels. When
+   [codec] is given and the journal is enabled, each completed (experiment,
+   point, seed) task is journaled as it finishes, and journaled tasks are
+   skipped on --resume — bit-identical results, since every task is a pure
+   function of its (param, seed). *)
+let sweep ?codec ?replay ~point ~params ~seeds f =
   let tasks =
-    List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) params
+    Array.of_list
+      (List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) params)
   in
-  let ms = Exec.map_list (fun (p, s) -> f p s) tasks in
+  let key (p, s) = Printf.sprintf "%s|%s|seed=%d" !Out.experiment (point p) s in
+  let decode =
+    match (codec, !journal) with
+    | Some (_, dec), Some j ->
+        fun task ->
+          Option.bind (Supervise.Journal.lookup j (key task)) dec
+    | _ -> fun _ -> None
+  in
+  let cached = Array.map decode tasks in
+  let torun =
+    Array.of_list
+      (List.filter
+         (fun i -> cached.(i) = None)
+         (List.init (Array.length tasks) Fun.id))
+  in
+  let describe _k i =
+    let p, s = tasks.(i) in
+    {
+      Supervise.d_label = Printf.sprintf "%s/seed=%d" (point p) s;
+      d_seed = Some s;
+      d_replay =
+        (match replay with
+        | Some r -> Some (r p s)
+        | None ->
+            Some
+              (Printf.sprintf "dune exec bench/main.exe -- --only %s"
+                 !Out.experiment));
+    }
+  in
+  let fresh =
+    Supervise.map ~budget:!budget ~describe
+      (fun i ->
+        let p, s = tasks.(i) in
+        f p s)
+      torun
+  in
+  (* merge journal hits and fresh results back into task order, recording
+     fresh successes as we go *)
+  let results = Array.map (fun c -> Option.map Result.ok c) cached in
+  Array.iteri
+    (fun k r ->
+      let i = torun.(k) in
+      (match (r, codec, !journal) with
+      | Ok v, Some (enc, _), Some j ->
+          Supervise.Journal.record j ~key:(key tasks.(i)) (enc v)
+      | _ -> ());
+      results.(i) <- Some r)
+    fresh;
+  let results =
+    Array.map
+      (function Some r -> r | None -> assert false (* every slot filled *))
+      results
+  in
+  (* quarantine failures in task order, then regroup successes per param *)
+  Array.iter
+    (function Ok _ -> () | Error fl -> quarantine fl)
+    results;
   let per_seed = List.length seeds in
-  let rec split acc ms = function
-    | [] -> List.rev acc
-    | p :: ps ->
-        let rec take k rest taken =
-          if k = 0 then (List.rev taken, rest)
-          else
-            match rest with
-            | [] -> invalid_arg "sweep: result underrun"
-            | m :: rest -> take (k - 1) rest (m :: taken)
-        in
-        let taken, rest = take per_seed ms [] in
-        split ((p, taken) :: acc) rest ps
-  in
-  split [] ms params
+  List.mapi
+    (fun pi p ->
+      let ok = ref [] in
+      for k = (pi * per_seed) + per_seed - 1 downto pi * per_seed do
+        match results.(k) with Ok v -> ok := v :: !ok | Error _ -> ()
+      done;
+      (p, !ok))
+    params
+
+(* Run one supervised task outside a sweep (the single-run figures); a
+   failure is quarantined and the caller gets [None]. *)
+let protected ~label f =
+  match
+    Supervise.protect ~budget:!budget
+      ~descriptor:
+        {
+          Supervise.d_label = label;
+          d_seed = None;
+          d_replay =
+            Some
+              (Printf.sprintf "dune exec bench/main.exe -- --only %s"
+                 !Out.experiment);
+        }
+      f
+  with
+  | Ok v -> Some v
+  | Error fl ->
+      quarantine fl;
+      None
 
 let optimal_run ?(adversary = Adversary.vote_splitter ()) ~n ~t ~seed () =
   let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in
@@ -197,7 +428,11 @@ let optimal_run ?(adversary = Adversary.vote_splitter ()) ~n ~t ~seed () =
   let inputs = Array.init n (fun i -> i mod 2) in
   measure proto cfg ~adversary ~inputs
 
+(* With quarantined points a sweep can shrink below a fittable sample;
+   surface that as nan (emitted as JSON null) instead of raising. *)
 let fit_exponent ?(log_power = 0) ns ys =
-  Stats.growth_exponent ~log_power
-    (Array.of_list (List.map float_of_int ns))
-    (Array.of_list ys)
+  if List.length ys < 2 then Float.nan
+  else
+    Stats.growth_exponent ~log_power
+      (Array.of_list (List.map float_of_int ns))
+      (Array.of_list ys)

@@ -18,30 +18,40 @@ let t1_thm1 ~quick () =
   row "%6s %5s %10s %14s %12s %10s\n" "n" "t" "rounds" "comm bits" "rand bits"
     "msgs";
   let per_n =
-    sweep ~params:ns ~seeds (fun n seed ->
-        optimal_run ~n ~t:(max 1 (n / 31)) ~seed ())
+    sweep ~codec:measure_codec
+      ~point:(fun n -> Printf.sprintf "n=%d" n)
+      ~replay:(fun n seed ->
+        Printf.sprintf
+          "dune exec bin/consensus_sim.exe -- run -p optimal -n %d -t %d \
+           --seed %d -a splitter"
+          n
+          (max 1 (n / 31))
+          seed)
+      ~params:ns ~seeds
+      (fun n seed -> optimal_run ~n ~t:(max 1 (n / 31)) ~seed ())
   in
-  let rounds_s = ref [] and bits_s = ref [] and rand_s = ref [] in
+  (* points whose every run was quarantined or timed out are skipped; the
+     fits below use only the surviving (n, avg) pairs *)
+  let kept = ref [] in
   List.iter
     (fun (n, ms) ->
       let t = max 1 (n / 31) in
-      let r, b, rb, m = avg_runs ~label:(Printf.sprintf "n=%d" n) ms in
-      rounds_s := r :: !rounds_s;
-      bits_s := b :: !bits_s;
-      rand_s := rb :: !rand_s;
-      row "%6d %5d %10.0f %14.0f %12.0f %10.0f\n" n t r b rb m;
-      Out.emit
-        [
-          ("n", Out.I n); ("t", Out.I t); ("rounds", Out.F r);
-          ("comm_bits", Out.F b); ("rand_bits", Out.F rb); ("msgs", Out.F m);
-        ])
+      match avg_runs ~label:(Printf.sprintf "n=%d" n) ms with
+      | None -> ()
+      | Some (r, b, rb, m) ->
+          kept := (n, r, b, rb) :: !kept;
+          row "%6d %5d %10.0f %14.0f %12.0f %10.0f\n" n t r b rb m;
+          Out.emit
+            [
+              ("n", Out.I n); ("t", Out.I t); ("rounds", Out.F r);
+              ("comm_bits", Out.F b); ("rand_bits", Out.F rb); ("msgs", Out.F m);
+            ])
     per_n;
-  let rounds_s = List.rev !rounds_s
-  and bits_s = List.rev !bits_s
-  and rand_s = List.rev !rand_s in
-  let e_bits = fit_exponent ~log_power:3 ns bits_s in
-  let e_rounds = fit_exponent ~log_power:2 ns rounds_s in
-  let e_rand = fit_exponent ~log_power:1 ns rand_s in
+  let kept = List.rev !kept in
+  let ns_kept = List.map (fun (n, _, _, _) -> n) kept in
+  let e_bits = fit_exponent ~log_power:3 ns_kept (List.map (fun (_, _, b, _) -> b) kept) in
+  let e_rounds = fit_exponent ~log_power:2 ns_kept (List.map (fun (_, r, _, _) -> r) kept) in
+  let e_rand = fit_exponent ~log_power:1 ns_kept (List.map (fun (_, _, _, rb) -> rb) kept) in
   Out.emit ~kind:"fit"
     [
       ("comm_bits_exponent", Out.F e_bits);
@@ -86,7 +96,9 @@ let t1_thm3 ~quick () =
       let t = max 1 (n / 61) in
       let xs = List.filter (fun x -> x <= n / 4) [ 1; 2; 4; 8; 16 ] in
       let per_x =
-        sweep ~params:xs ~seeds:[ 1; 2; 3 ] (fun x seed ->
+        sweep ~codec:measure_codec
+          ~point:(fun x -> Printf.sprintf "n=%d/x=%d" n x)
+          ~params:xs ~seeds:[ 1; 2; 3 ] (fun x seed ->
             let cfg0 = Sim.Config.make ~n ~t_max:t ~seed:0 () in
             let max_rounds =
               Consensus.Param_omissions.rounds_needed ~x cfg0 + 10
@@ -100,18 +112,18 @@ let t1_thm3 ~quick () =
       in
       List.iter
         (fun (x, ms) ->
-          let r, b, rb, m =
-            avg_runs ~label:(Printf.sprintf "n=%d x=%d" n x) ms
-          in
-          row "%4d %8.0f %11.1f %11.0f %13.0f %14.0f\n" x r rb m b
-            (r *. Float.max rb 1.);
-          Out.emit
-            [
-              ("n", Out.I n); ("t", Out.I t); ("x", Out.I x);
-              ("rounds", Out.F r); ("rand_bits", Out.F rb);
-              ("msgs", Out.F m); ("comm_bits", Out.F b);
-              ("time_x_rand", Out.F (r *. Float.max rb 1.));
-            ])
+          match avg_runs ~label:(Printf.sprintf "n=%d x=%d" n x) ms with
+          | None -> ()
+          | Some (r, b, rb, m) ->
+              row "%4d %8.0f %11.1f %11.0f %13.0f %14.0f\n" x r rb m b
+                (r *. Float.max rb 1.);
+              Out.emit
+                [
+                  ("n", Out.I n); ("t", Out.I t); ("x", Out.I x);
+                  ("rounds", Out.F r); ("rand_bits", Out.F rb);
+                  ("msgs", Out.F m); ("comm_bits", Out.F b);
+                  ("time_x_rand", Out.F (r *. Float.max rb 1.));
+                ])
         per_x)
     ns
 
@@ -127,7 +139,15 @@ let t1_bjbo ~quick () =
   let ns = if quick then [ 64; 144; 256 ] else [ 64; 144; 256; 400; 576 ] in
   row "%6s %5s %8s %18s %8s\n" "n" "t" "rounds" "t/sqrt(n log2 n)" "ratio";
   let per_n =
-    sweep ~params:ns ~seeds:[ 1; 2; 3; 4; 5 ] (fun n seed ->
+    sweep ~codec:measure_codec
+      ~point:(fun n -> Printf.sprintf "n=%d" n)
+      ~replay:(fun n seed ->
+        Printf.sprintf
+          "dune exec bin/consensus_sim.exe -- run -p bjbo -n %d -t %d \
+           --seed %d -a splitter"
+          n (n / 4) seed)
+      ~params:ns ~seeds:[ 1; 2; 3; 4; 5 ]
+      (fun n seed ->
         let t = n / 4 in
         let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:5000 () in
         let proto = Consensus.Bjbo.protocol cfg in
@@ -137,17 +157,19 @@ let t1_bjbo ~quick () =
   List.iter
     (fun (n, ms) ->
       let t = n / 4 in
-      let r, _, _, _ = avg_runs ~label:(Printf.sprintf "n=%d" n) ms in
-      let shape =
-        float_of_int t
-        /. sqrt (float_of_int n *. (log (float_of_int n) /. log 2.))
-      in
-      row "%6d %5d %8.1f %18.2f %8.2f\n" n t r shape (r /. shape);
-      Out.emit
-        [
-          ("n", Out.I n); ("t", Out.I t); ("rounds", Out.F r);
-          ("lower_bound_shape", Out.F shape); ("ratio", Out.F (r /. shape));
-        ])
+      match avg_runs ~label:(Printf.sprintf "n=%d" n) ms with
+      | None -> ()
+      | Some (r, _, _, _) ->
+          let shape =
+            float_of_int t
+            /. sqrt (float_of_int n *. (log (float_of_int n) /. log 2.))
+          in
+          row "%6d %5d %8.1f %18.2f %8.2f\n" n t r shape (r /. shape);
+          Out.emit
+            [
+              ("n", Out.I n); ("t", Out.I t); ("rounds", Out.F r);
+              ("lower_bound_shape", Out.F shape); ("ratio", Out.F (r /. shape));
+            ])
     per_n;
   Printf.printf
     "(a roughly constant ratio column = the measured rounds follow the \
@@ -219,22 +241,43 @@ let t1_abraham ~quick () =
           .messages);
     |]
   in
-  let msgs = Exec.map (fun f -> f ()) tasks in
-  entry "optimal-omissions" t_opt msgs.(0);
-  entry "param-omissions(x=4)" t_opt msgs.(1);
-  entry "bjbo (crash baseline)" t_big msgs.(2);
-  entry "flood-min (deterministic)" t_big msgs.(3);
-  row "%-24s %5d %12d %12d %10.0f   (n=%d: n parallel broadcasts)\n"
-    "dolev-strong [15]" t_ds msgs.(4) (t_ds * t_ds)
-    (float_of_int msgs.(4) /. float_of_int (t_ds * t_ds))
-    n_ds;
-  Out.emit
-    [
-      ("protocol", Out.S "dolev-strong"); ("t", Out.I t_ds);
-      ("messages", Out.I msgs.(4)); ("t_squared", Out.I (t_ds * t_ds));
-      ("msgs_per_t2", Out.F (float_of_int msgs.(4) /. float_of_int (t_ds * t_ds)));
-      ("n", Out.I n_ds);
-    ];
+  let labels =
+    [|
+      "optimal-omissions"; "param-omissions(x=4)"; "bjbo (crash baseline)";
+      "flood-min (deterministic)"; "dolev-strong [15]";
+    |]
+  in
+  let msgs =
+    Supervise.map ~budget:!budget
+      ~describe:(fun i _ ->
+        { Supervise.d_label = labels.(i); d_seed = Some 1; d_replay = None })
+      (fun f -> f ())
+      tasks
+  in
+  (* a quarantined protocol loses its row; the others still print *)
+  let entry_ok i name t =
+    match msgs.(i) with
+    | Ok m -> entry name t m
+    | Error fl -> quarantine fl
+  in
+  entry_ok 0 "optimal-omissions" t_opt;
+  entry_ok 1 "param-omissions(x=4)" t_opt;
+  entry_ok 2 "bjbo (crash baseline)" t_big;
+  entry_ok 3 "flood-min (deterministic)" t_big;
+  (match msgs.(4) with
+  | Error fl -> quarantine fl
+  | Ok m ->
+      row "%-24s %5d %12d %12d %10.0f   (n=%d: n parallel broadcasts)\n"
+        "dolev-strong [15]" t_ds m (t_ds * t_ds)
+        (float_of_int m /. float_of_int (t_ds * t_ds))
+        n_ds;
+      Out.emit
+        [
+          ("protocol", Out.S "dolev-strong"); ("t", Out.I t_ds);
+          ("messages", Out.I m); ("t_squared", Out.I (t_ds * t_ds));
+          ("msgs_per_t2", Out.F (float_of_int m /. float_of_int (t_ds * t_ds)));
+          ("n", Out.I n_ds);
+        ]);
   Printf.printf
     "\nrounds comparison at the same (n, t): dolev-strong takes t+2 rounds \
      (Theta(n) at t = Theta(n))\nwhile Algorithm 1's schedule is \
@@ -243,6 +286,30 @@ let t1_abraham ~quick () =
 (* ------------------------------------------------------------------ *)
 (* T1-thm2: the lower bound T x (R+T) = Omega(t^2 / log n).            *)
 (* ------------------------------------------------------------------ *)
+
+(* journal codec for the coin-game result record ([%h] round-trips the
+   float bound exactly) *)
+let product_codec =
+  ( (fun (r : Lowerbound.Product.result) ->
+      Printf.sprintf "%d %d %d %d %d %d %h %b" r.n r.t r.coin_set r.rounds
+        r.rand_calls r.product r.bound r.decided),
+    fun s ->
+      match String.split_on_char ' ' s with
+      | [ n; t; k; r; rc; p; b; d ] -> (
+          try
+            Some
+              {
+                Lowerbound.Product.n = int_of_string n;
+                t = int_of_string t;
+                coin_set = int_of_string k;
+                rounds = int_of_string r;
+                rand_calls = int_of_string rc;
+                product = int_of_string p;
+                bound = float_of_string b;
+                decided = bool_of_string d;
+              }
+          with _ -> None)
+      | _ -> None )
 
 let t1_thm2 ~quick () =
   section "T1-thm2: Theorem 2 lower bound — why a lot of randomness is needed";
@@ -259,11 +326,18 @@ let t1_thm2 ~quick () =
         "t^2/log2 n" "ratio";
       let seeds = [ 1; 2; 3; 4; 5 ] in
       let per_k =
-        sweep ~params:[ 1; 4; 16; n ] ~seeds (fun k seed ->
-            Lowerbound.Product.run ~seed ~n ~t ~coin_set:k ())
+        sweep ~codec:product_codec
+          ~point:(fun k -> Printf.sprintf "n=%d/k=%d" n k)
+          ~params:[ 1; 4; 16; n ] ~seeds
+          (fun k seed -> Lowerbound.Product.run ~seed ~n ~t ~coin_set:k ())
       in
       List.iter
         (fun (k, rs) ->
+          if rs = [] then
+            skip_point
+              ~label:(Printf.sprintf "n=%d k=%d" n k)
+              ~reason:"no surviving runs (all quarantined)"
+          else
           let avg g =
             List.fold_left (fun a r -> a +. float_of_int (g r)) 0. rs
             /. float_of_int (List.length rs)
@@ -314,7 +388,14 @@ let b3 ~quick () =
   row "%6s %5s %14s %14s %13s %13s %7s\n" "n" "t" "om total" "cr total"
     "om dissem" "cr dissem" "ratio";
   let results =
-    Exec.map
+    Supervise.map ~budget:!budget
+      ~describe:(fun _ n ->
+        {
+          Supervise.d_label = Printf.sprintf "b3/n=%d" n;
+          d_seed = Some 1;
+          d_replay =
+            Some "dune exec bench/main.exe -- --only b3";
+        })
       (fun n ->
         let t = max 1 (n / 31) in
         let seed = 1 in
@@ -353,7 +434,9 @@ let b3 ~quick () =
       (Array.of_list ns)
   in
   Array.iter
-    (fun (n, t, m_om, m_cr, om_dissem, cr_dissem) ->
+    (function
+      | Error fl -> quarantine fl
+      | Ok (n, t, m_om, m_cr, om_dissem, cr_dissem) ->
       row "%6d %5d %14d %14d %13d %13d %7.1f\n" n t m_om.bits m_cr.bits
         om_dissem cr_dissem
         (float_of_int om_dissem /. float_of_int (max 1 cr_dissem));

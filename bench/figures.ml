@@ -73,9 +73,13 @@ let f2 ~quick:_ () =
       Hashtbl.replace trace round (msgs, bits)
     end
   in
-  let (_ : run_measure) =
-    measure ~on_round proto cfg ~adversary:(Adversary.group_killer ()) ~inputs
-  in
+  match
+    protected ~label:"f2/n=256" (fun () ->
+        measure ~on_round proto cfg ~adversary:(Adversary.group_killer ())
+          ~inputs)
+  with
+  | None -> ()
+  | Some (_ : run_measure) ->
   for slot = 1 to epoch_len do
     let kind =
       if slot <= 3 * stages then begin
@@ -136,9 +140,13 @@ let f3 ~quick () =
   let cfg = Sim.Config.make ~n ~t_max:t ~seed:12 ~max_rounds:20000 () in
   let proto = Consensus.Optimal_omissions.protocol ~vote_log:log cfg in
   let inputs = Array.init n (fun i -> i mod 2) in
-  let (_ : run_measure) =
-    measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs
-  in
+  match
+    protected
+      ~label:(Printf.sprintf "f3/n=%d" n)
+      (fun () -> measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs)
+  with
+  | None -> ()
+  | Some (_ : run_measure) ->
   let events = List.rev !log in
   let epochs = List.sort_uniq compare (List.map (fun e -> e.Consensus.Core.ev_epoch) events) in
   Printf.printf

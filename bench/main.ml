@@ -10,7 +10,19 @@
      dune exec bench/main.exe -- --jobs 4     # domain-pool width (results
                                               # are identical at any width)
      dune exec bench/main.exe -- --json out.json  # JSON-lines sink
-                                              # (default BENCH_consensus.json) *)
+                                              # (default BENCH_consensus.json)
+     dune exec bench/main.exe -- --resume     # skip work journaled in
+                                              # <json>.journal by an
+                                              # interrupted campaign
+     dune exec bench/main.exe -- --stable-json    # omit wall_s stamps, so
+                                              # two runs diff byte-identical
+     dune exec bench/main.exe -- --wall-budget 30 --rand-budget 1000000
+                                              # per-task watchdog ceilings;
+                                              # breaches are quarantined
+
+   A sweep task that crashes, times out, or breaches a budget is quarantined
+   (a JSON record with a replay command, kind="quarantine"), the sweep keeps
+   going, and the campaign exits non-zero with a partial-results summary. *)
 
 let experiments =
   [
@@ -37,6 +49,12 @@ let () =
   let only = ref [] in
   let jobs = ref 0 in
   let json = ref "BENCH_consensus.json" in
+  let resume = ref false in
+  let stable = ref false in
+  let wall_budget = ref 0. in
+  let round_budget = ref 0 in
+  let msg_budget = ref 0 in
+  let rand_budget = ref 0 in
   let spec =
     [
       ("--quick", Arg.Set quick, "smaller sweeps");
@@ -57,13 +75,53 @@ let () =
         Arg.Set_string json,
         "FILE  JSON-lines results sink (default BENCH_consensus.json; \
          \"\" disables)" );
+      ( "--resume",
+        Arg.Set resume,
+        "skip sweep tasks journaled in <json>.journal by a previous \
+         (interrupted) campaign; results are bit-identical to an \
+         uninterrupted run" );
+      ( "--stable-json",
+        Arg.Set stable,
+        "omit wall_s stamps from JSON records, so two runs of the same \
+         campaign produce byte-identical files" );
+      ( "--wall-budget",
+        Arg.Set_float wall_budget,
+        "S  wall-clock watchdog per sweep task, seconds (0 = unlimited)" );
+      ( "--round-budget",
+        Arg.Set_int round_budget,
+        "N  engine-round ceiling per sweep task (0 = unlimited)" );
+      ( "--msg-budget",
+        Arg.Set_int msg_budget,
+        "N  message ceiling per sweep task (0 = unlimited)" );
+      ( "--rand-budget",
+        Arg.Set_int rand_budget,
+        "N  random-bit ceiling per sweep task (0 = unlimited)" );
     ]
   in
   Arg.parse spec
     (fun _ -> ())
-    "bench/main.exe [--quick] [--only ids] [--micro] [--jobs N] [--json FILE]";
+    "bench/main.exe [--quick] [--only ids] [--micro] [--jobs N] [--json FILE]\n\
+    \                [--resume] [--stable-json] [--wall-budget S] \
+     [--round-budget N]\n\
+    \                [--msg-budget N] [--rand-budget N]";
   Exec.set_default_jobs !jobs;
+  Bench_util.Out.set_stable !stable;
+  if !resume && !json = "" then begin
+    Printf.eprintf "--resume needs a --json path (the journal lives beside it)\n";
+    exit 2
+  end;
   Bench_util.Out.set_path (if !json = "" then None else Some !json);
+  if !json <> "" then
+    Bench_util.enable_journal ~path:(!json ^ ".journal") ~resume:!resume;
+  let posf v = if v <= 0. then None else Some v in
+  let posi v = if v <= 0 then None else Some v in
+  Bench_util.budget :=
+    {
+      Supervise.Budget.wall_s = posf !wall_budget;
+      max_rounds = posi !round_budget;
+      max_messages = posi !msg_budget;
+      max_rand_bits = posi !rand_budget;
+    };
   let selected =
     match !only with
     | [] -> experiments
@@ -99,4 +157,7 @@ let () =
   let run_micro = match !micro with Some b -> b | None -> !only = [] in
   if run_micro then Micro.benchmark ();
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
-  Bench_util.Out.close ()
+  Bench_util.print_failure_summary ();
+  Bench_util.Out.close ();
+  Bench_util.close_journal ();
+  if Bench_util.failures () > 0 then exit 1

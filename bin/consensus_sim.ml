@@ -125,16 +125,34 @@ let fuzz_protocols spec =
             (String.concat ", " (Harness.Registry.ids ()));
           exit 2)
 
-let fuzz_cmd count seed max_n protocol smoke jobs =
+let fuzz_cmd count seed max_n protocol smoke jobs journal_path resume =
   let protocols = fuzz_protocols protocol in
   let count = if smoke then max count 1_000_000 else count in
   let time_budget = if smoke then Some 25.0 else None in
   let jobs = if jobs <= 0 then Exec.default_jobs () else jobs in
+  if resume && journal_path = None then begin
+    Fmt.epr "fuzz: --resume needs --journal FILE@.";
+    exit 2
+  end;
+  let journal =
+    Option.map
+      (fun path ->
+        let j = Supervise.Journal.open_ ~path ~resume in
+        if resume then
+          Fmt.pr "fuzz: resuming — %d scenario(s) journaled%s@."
+            (Supervise.Journal.entries j)
+            (match Supervise.Journal.corrupt j with
+            | 0 -> ""
+            | c -> Fmt.str " (%d corrupt line(s) skipped)" c);
+        j)
+      journal_path
+  in
   let result =
     Harness.Fuzz.run ~protocols ~count ~seed ~max_n ?time_budget ~jobs
       ~progress:(fun m -> Fmt.pr "fuzz: %s@." m)
-      ()
+      ?journal ()
   in
+  Option.iter Supervise.Journal.close journal;
   match result with
   | Ok stats ->
       Fmt.pr
@@ -239,7 +257,28 @@ let fuzz_term =
             "Domains in the executor pool (default: recommended count; 1 = \
              serial; results are identical at any width).")
   in
-  Term.(const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke $ jobs)
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ]
+          ~doc:
+            "Checkpoint file: each clean scenario is journaled as it \
+             completes, so an interrupted soak can be resumed with \
+             $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Skip scenarios already journaled in --journal FILE by a \
+             previous (interrupted) soak with the same seed; final stats \
+             are identical to an uninterrupted run.")
+  in
+  Term.(
+    const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke $ jobs
+    $ journal $ resume)
 
 let replay_term =
   let scenario =

@@ -10,9 +10,15 @@
 
     [jobs = 1] bypasses the pool entirely and evaluates inline, reproducing
     the serial behaviour exactly (including stopping at the first
-    exception). With [jobs > 1] every task is attempted and the exception
-    of the lowest-indexed failing task is re-raised in the caller, with its
-    backtrace — still deterministic. *)
+    exception). With [jobs > 1] the exception of the lowest-indexed failing
+    task is re-raised in the caller, with its backtrace — still
+    deterministic. Once a task has failed, tasks at {e higher} indices that
+    have not started yet are cancelled (they can never win the
+    lowest-index race), so a failing sweep aborts quickly instead of
+    grinding through the remaining work; tasks at lower indices always
+    still run. Callers that want every task attempted and failures
+    contained should use [Supervise.map], which wraps each task so none
+    raises into the pool. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count], clamped to at least 1. *)

@@ -77,9 +77,35 @@ let minimise ?(max_steps = 300) ~protocols (v : Runner.violation) s =
     in index order, reproducing the serial loop's stats and
     first-violation semantics exactly. *)
 let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
-    ?time_budget ?jobs ?(progress = fun _ -> ()) () :
+    ?time_budget ?jobs ?(progress = fun _ -> ()) ?journal () :
     (stats, failure * stats) result =
   let stats = stats_zero () in
+  (* checkpoint/resume: each clean scenario's stats contribution is
+     journaled under a (seed, index) key; on resume those scenarios are
+     folded from the journal without re-evaluation, so the final stats are
+     identical to an uninterrupted soak. Violations are never journaled —
+     an interrupted failing run re-finds the violation on resume. *)
+  let key i = Printf.sprintf "fuzz|seed=%d|i=%d" seed i in
+  let cached i =
+    match journal with
+    | None -> None
+    | Some j -> (
+        match Supervise.Journal.lookup j (key i) with
+        | None -> None
+        | Some payload -> (
+            match String.split_on_char ' ' payload with
+            | [ r; c; d ] -> (
+                try Some (int_of_string r, int_of_string c, int_of_string d)
+                with _ -> None)
+            | _ -> None))
+  in
+  let record i ~runs ~checked ~det =
+    match journal with
+    | None -> ()
+    | Some j ->
+        Supervise.Journal.record j ~key:(key i)
+          (Printf.sprintf "%d %d %d" runs checked det)
+  in
   let root = Sim.Rand.create ~seed:(Int64.of_int seed) () in
   let started = Unix.gettimeofday () in
   let out_of_time () =
@@ -125,43 +151,69 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
     while !i < count && not (out_of_time ()) do
       let hi = min count (!i + batch) in
       let lo = !i in
-      let results = Exec.init ~jobs (hi - lo) (fun k -> eval (lo + k)) in
-      Array.iteri
-        (fun k (s, (report : Runner.report), violation, det) ->
-          let idx = lo + k in
-          stats.scenarios <- stats.scenarios + 1;
-          stats.runs <- stats.runs + List.length report.results;
-          stats.checked <-
-            stats.checked
-            + List.length
-                (List.filter (fun r -> r.Runner.checked) report.results);
-          (match violation with
-          | Some v ->
-              let shrunk, v', steps = minimise ~protocols v s in
-              raise
-                (Found
-                   { original = s; shrunk; violation = v'; shrink_steps = steps })
-          | None -> ());
-          (match det with
-          | None -> ()
-          | Some det_result -> (
-              stats.determinism_checks <- stats.determinism_checks + 1;
-              match det_result with
-              | Some v ->
-                  raise
-                    (Found
-                       {
-                         original = s;
-                         shrunk = s;
-                         violation = v;
-                         shrink_steps = 0;
-                       })
-              | None -> ()));
-          if (idx + 1) mod 50 = 0 then
-            progress
-              (Printf.sprintf "%d scenarios, %d protocol runs, %d checked"
-                 stats.scenarios stats.runs stats.checked))
-        results;
+      let fresh =
+        Array.of_list
+          (List.filter
+             (fun k -> cached k = None)
+             (List.init (hi - lo) (fun k -> lo + k)))
+      in
+      let results = Exec.map ~jobs (fun k -> (k, eval k)) fresh in
+      (* index the fresh results so the fold below can walk lo..hi-1 in
+         order, interleaving journaled and freshly evaluated scenarios *)
+      let tbl = Hashtbl.create (Array.length results) in
+      Array.iter (fun (k, r) -> Hashtbl.add tbl k r) results;
+      for idx = lo to hi - 1 do
+        (match cached idx with
+        | Some (runs, checked, det) ->
+            stats.scenarios <- stats.scenarios + 1;
+            stats.runs <- stats.runs + runs;
+            stats.checked <- stats.checked + checked;
+            stats.determinism_checks <- stats.determinism_checks + det
+        | None ->
+            let s, (report : Runner.report), violation, det =
+              Hashtbl.find tbl idx
+            in
+            stats.scenarios <- stats.scenarios + 1;
+            let runs = List.length report.results in
+            let checked =
+              List.length
+                (List.filter (fun r -> r.Runner.checked) report.results)
+            in
+            stats.runs <- stats.runs + runs;
+            stats.checked <- stats.checked + checked;
+            (match violation with
+            | Some v ->
+                let shrunk, v', steps = minimise ~protocols v s in
+                raise
+                  (Found
+                     {
+                       original = s;
+                       shrunk;
+                       violation = v';
+                       shrink_steps = steps;
+                     })
+            | None -> ());
+            (match det with
+            | None -> ()
+            | Some det_result -> (
+                stats.determinism_checks <- stats.determinism_checks + 1;
+                match det_result with
+                | Some v ->
+                    raise
+                      (Found
+                         {
+                           original = s;
+                           shrunk = s;
+                           violation = v;
+                           shrink_steps = 0;
+                         })
+                | None -> ()));
+            record idx ~runs ~checked ~det:(if det = None then 0 else 1));
+        if (idx + 1) mod 50 = 0 then
+          progress
+            (Printf.sprintf "%d scenarios, %d protocol runs, %d checked"
+               stats.scenarios stats.runs stats.checked)
+      done;
       i := hi
     done;
     Ok stats

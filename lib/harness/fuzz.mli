@@ -40,6 +40,7 @@ val run :
   ?time_budget:float ->
   ?jobs:int ->
   ?progress:(string -> unit) ->
+  ?journal:Supervise.Journal.t ->
   unit ->
   (stats, failure * stats) result
 (** Run [count] generated scenarios (stopping early after [time_budget]
@@ -51,4 +52,12 @@ val run :
     {!Exec.default_jobs}); every scenario is a pure function of [seed] and
     its index, and batch results are folded in index order, so the outcome
     — stats, first violation, shrunk counterexample — is identical at any
-    [jobs]. [jobs = 1] is the serial loop. *)
+    [jobs]. [jobs = 1] is the serial loop.
+
+    With [journal], each clean scenario's stats contribution is recorded
+    under a [(seed, index)] key as it completes; scenarios already present
+    in the journal (opened with [~resume:true]) are folded from it without
+    re-evaluation, so an interrupted soak resumed with the same [seed] and
+    [count] reports stats identical to an uninterrupted one. Violations are
+    never journaled: resuming a failing soak re-finds the violation. The
+    caller closes the journal. *)

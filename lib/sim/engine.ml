@@ -33,6 +33,14 @@ type outcome = {
   faults_used : int;
 }
 
+type progress = {
+  p_round : int;  (** rounds executed so far *)
+  p_messages : int;
+  p_bits : int;
+  p_rand_calls : int;
+  p_rand_bits : int;
+}
+
 let all_nonfaulty_decided outcome =
   let ok = ref true in
   Array.iteri
@@ -56,8 +64,12 @@ let agreed_decision outcome =
 
 (** [run protocol cfg ~adversary ~inputs] executes a full run. [on_round],
     if given, is called once per round with the round's envelopes (before
-    the adversary intervenes) — benches use it to trace per-slot traffic. *)
-let run ?on_round (module P : Protocol_intf.S) (cfg : Config.t)
+    the adversary intervenes) — benches use it to trace per-slot traffic.
+    [stop], if given, is consulted at the end of every round with the
+    cumulative metric counters; returning [true] ends the run exactly as
+    hitting [max_rounds] would — the supervision layer uses it to extend
+    the [max_rounds] semantics to message/randomness/wall-clock budgets. *)
+let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
     ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
   let n = cfg.n in
   if Array.length inputs <> n then
@@ -82,8 +94,8 @@ let run ?on_round (module P : Protocol_intf.S) (cfg : Config.t)
   (* Outboxes of the current round, indexed by sender. *)
   let outboxes : (int * P.msg) list array = Array.make n [] in
   let round = ref 1 in
-  let stop = ref false in
-  while (not !stop) && !round <= cfg.max_rounds do
+  let stop_flag = ref false in
+  while (not !stop_flag) && !round <= cfg.max_rounds do
     let r = !round in
     rounds_total := r;
     (* Phase 1: local computation. *)
@@ -170,7 +182,21 @@ let run ?on_round (module P : Protocol_intf.S) (cfg : Config.t)
       inboxes.(pid) <-
         List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(pid)
     done;
-    if !decided_round <> None then stop := true;
+    if !decided_round <> None then stop_flag := true;
+    (match stop with
+    | None -> ()
+    | Some f ->
+        if
+          (not !stop_flag)
+          && f
+               {
+                 p_round = r;
+                 p_messages = !messages_sent;
+                 p_bits = !bits_sent;
+                 p_rand_calls = Rand.Counter.calls counter;
+                 p_rand_bits = Rand.Counter.bits counter;
+               }
+        then stop_flag := true);
     incr round
   done;
   {

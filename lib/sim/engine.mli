@@ -27,6 +27,16 @@ type outcome = {
   faults_used : int;
 }
 
+type progress = {
+  p_round : int;  (** rounds executed so far *)
+  p_messages : int;
+  p_bits : int;
+  p_rand_calls : int;
+  p_rand_bits : int;
+}
+(** Cumulative metric counters handed to the [stop] watchdog after each
+    round. *)
+
 val all_nonfaulty_decided : outcome -> bool
 
 val agreed_decision : outcome -> int option
@@ -35,6 +45,7 @@ val agreed_decision : outcome -> int option
 
 val run :
   ?on_round:(round:int -> View.envelope array -> unit) ->
+  ?stop:(progress -> bool) ->
   Protocol_intf.t ->
   Config.t ->
   adversary:Adversary_intf.t ->
@@ -43,5 +54,9 @@ val run :
 (** Execute a run: a pure function of [(protocol, adversary, cfg, inputs)].
     Stops when every non-faulty process has decided or at [max_rounds].
     [on_round] observes each round's envelopes (before omissions) — used by
-    the benches for traffic traces. Raises [Invalid_argument] if [inputs]
-    is not an n-vector of bits. *)
+    the benches for traffic traces. [stop] is the watchdog hook: consulted
+    after every round with the cumulative counters, and returning [true]
+    ends the run with the same semantics as hitting [max_rounds]
+    ([decided_round] stays [None]); {!Supervise} uses it to enforce
+    message/randomness/wall-clock budgets. Raises [Invalid_argument] if
+    [inputs] is not an n-vector of bits. *)

@@ -1,0 +1,361 @@
+(* Run supervision and fault containment: watchdog budgets, quarantining
+   map, checkpoint journal, chaos injection. See supervise.mli. *)
+
+module Budget = struct
+  type t = {
+    wall_s : float option;
+    max_rounds : int option;
+    max_messages : int option;
+    max_rand_bits : int option;
+  }
+
+  let unlimited =
+    { wall_s = None; max_rounds = None; max_messages = None; max_rand_bits = None }
+
+  let make ?wall_s ?max_rounds ?max_messages ?max_rand_bits () =
+    (match wall_s with
+    | Some w when w <= 0. -> invalid_arg "Budget.make: wall_s must be positive"
+    | _ -> ());
+    let pos name = function
+      | Some l when l <= 0 ->
+          invalid_arg (Printf.sprintf "Budget.make: %s must be positive" name)
+      | _ -> ()
+    in
+    pos "max_rounds" max_rounds;
+    pos "max_messages" max_messages;
+    pos "max_rand_bits" max_rand_bits;
+    { wall_s; max_rounds; max_messages; max_rand_bits }
+
+  let is_unlimited b = b = unlimited
+
+  let pp ppf b =
+    let item name to_s = function
+      | None -> None
+      | Some v -> Some (Printf.sprintf "%s=%s" name (to_s v))
+    in
+    let items =
+      List.filter_map Fun.id
+        [
+          item "wall_s" (Printf.sprintf "%g") b.wall_s;
+          item "rounds" string_of_int b.max_rounds;
+          item "messages" string_of_int b.max_messages;
+          item "rand_bits" string_of_int b.max_rand_bits;
+        ]
+    in
+    match items with
+    | [] -> Fmt.pf ppf "unlimited"
+    | l -> Fmt.pf ppf "%s" (String.concat " " l)
+end
+
+type breach = { metric : string; limit : float; actual : float; at_round : int }
+
+type failure_kind =
+  | Crashed of { exn_text : string; backtrace : string }
+  | Timeout of { limit_s : float; elapsed_s : float }
+  | Budget_exceeded of breach
+
+exception Breach of failure_kind
+
+type descriptor = {
+  d_label : string;
+  d_seed : int option;
+  d_replay : string option;
+}
+
+type failure = {
+  index : int;
+  label : string;
+  seed : int option;
+  replay : string option;
+  kind : failure_kind;
+  elapsed_s : float;
+}
+
+let pp_failure_kind ppf = function
+  | Crashed { exn_text; _ } -> Fmt.pf ppf "crashed: %s" exn_text
+  | Timeout { limit_s; elapsed_s } ->
+      Fmt.pf ppf "timeout: %.3f s elapsed (budget %.3f s)" elapsed_s limit_s
+  | Budget_exceeded { metric; limit; actual; at_round } ->
+      Fmt.pf ppf "budget exceeded: %s = %.0f > %.0f at round %d" metric actual
+        limit at_round
+
+let pp_failure ppf f =
+  Fmt.pf ppf "[%d] %s: %a" f.index f.label pp_failure_kind f.kind;
+  match f.replay with
+  | Some cmd -> Fmt.pf ppf "@.    replay: %s" cmd
+  | None -> ()
+
+(* --- JSON-lines quarantine record --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let failure_json f =
+  let b = Buffer.create 160 in
+  let field k v = Buffer.add_string b (Printf.sprintf ",\"%s\":%s" k v) in
+  let str k s = field k (Printf.sprintf "\"%s\"" (json_escape s)) in
+  Buffer.add_string b
+    (Printf.sprintf "{\"kind\":\"quarantine\",\"index\":%d" f.index);
+  str "label" f.label;
+  (match f.seed with Some s -> field "seed" (string_of_int s) | None -> ());
+  (match f.replay with Some r -> str "replay" r | None -> ());
+  (match f.kind with
+  | Crashed { exn_text; backtrace } ->
+      str "failure" "crashed";
+      str "exn" exn_text;
+      if backtrace <> "" then str "backtrace" backtrace
+  | Timeout { limit_s; elapsed_s } ->
+      str "failure" "timeout";
+      field "limit_s" (Printf.sprintf "%.3f" limit_s);
+      field "timeout_elapsed_s" (Printf.sprintf "%.3f" elapsed_s)
+  | Budget_exceeded { metric; limit; actual; at_round } ->
+      str "failure" "budget_exceeded";
+      str "metric" metric;
+      field "limit" (Printf.sprintf "%.0f" limit);
+      field "actual" (Printf.sprintf "%.0f" actual);
+      field "at_round" (string_of_int at_round));
+  field "elapsed_s" (Printf.sprintf "%.3f" f.elapsed_s);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- supervised engine run --- *)
+
+let run ?on_round ?(budget = Budget.unlimited) proto cfg ~adversary ~inputs =
+  let started = Unix.gettimeofday () in
+  let tripped = ref None in
+  let stop (p : Sim.Engine.progress) =
+    let hit metric limit actual =
+      if !tripped = None then
+        tripped := Some { metric; limit; actual; at_round = p.p_round }
+    in
+    (match budget.Budget.max_rounds with
+    | Some l when p.p_round >= l -> hit "rounds" (float_of_int l) (float_of_int p.p_round)
+    | _ -> ());
+    (match budget.Budget.max_messages with
+    | Some l when p.p_messages > l ->
+        hit "messages" (float_of_int l) (float_of_int p.p_messages)
+    | _ -> ());
+    (match budget.Budget.max_rand_bits with
+    | Some l when p.p_rand_bits > l ->
+        hit "rand_bits" (float_of_int l) (float_of_int p.p_rand_bits)
+    | _ -> ());
+    (match budget.Budget.wall_s with
+    | Some l ->
+        let elapsed = Unix.gettimeofday () -. started in
+        if elapsed > l then hit "wall_s" l elapsed
+    | None -> ());
+    !tripped <> None
+  in
+  let stop = if Budget.is_unlimited budget then None else Some stop in
+  match Sim.Engine.run ?on_round ?stop proto cfg ~adversary ~inputs with
+  | o -> (
+      match !tripped with
+      | Some b when o.Sim.Engine.decided_round = None ->
+          let kind =
+            if b.metric = "wall_s" then
+              Timeout { limit_s = b.limit; elapsed_s = b.actual }
+            else Budget_exceeded b
+          in
+          Error (kind, Some o)
+      | _ -> Ok o)
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Error
+        ( Crashed
+            {
+              exn_text = Printexc.to_string e;
+              backtrace = Printexc.raw_backtrace_to_string bt;
+            },
+          None )
+
+(* --- quarantining map --- *)
+
+let map ?jobs ?(budget = Budget.unlimited) ?describe f xs =
+  let describe i x =
+    match describe with
+    | Some d -> d i x
+    | None -> { d_label = string_of_int i; d_seed = None; d_replay = None }
+  in
+  Exec.mapi ?jobs
+    (fun i x ->
+      let t0 = Unix.gettimeofday () in
+      let fail kind =
+        let d = describe i x in
+        Error
+          {
+            index = i;
+            label = d.d_label;
+            seed = d.d_seed;
+            replay = d.d_replay;
+            kind;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          }
+      in
+      match f x with
+      | v -> (
+          match budget.Budget.wall_s with
+          | Some l ->
+              let elapsed = Unix.gettimeofday () -. t0 in
+              if elapsed > l then
+                fail (Timeout { limit_s = l; elapsed_s = elapsed })
+              else Ok v
+          | None -> Ok v)
+      | exception Breach kind -> fail kind
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          fail
+            (Crashed
+               {
+                 exn_text = Printexc.to_string e;
+                 backtrace = Printexc.raw_backtrace_to_string bt;
+               }))
+    xs
+
+let map_list ?jobs ?budget ?describe f xs =
+  Array.to_list (map ?jobs ?budget ?describe f (Array.of_list xs))
+
+let protect ?budget ?descriptor f =
+  let describe =
+    match descriptor with Some d -> Some (fun _ () -> d) | None -> None
+  in
+  (map ~jobs:1 ?budget ?describe (fun () -> f ()) [| () |]).(0)
+
+(* --- checkpoint journal --- *)
+
+module Journal = struct
+  type t = {
+    path : string;
+    tbl : (string, string) Hashtbl.t;
+    mutable ch : out_channel option;
+    mutable corrupt : int;
+  }
+
+  let well_formed s =
+    not (String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s)
+
+  let load t =
+    match open_in t.path with
+    | exception Sys_error _ -> ()
+    | ic ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> close_in ic
+          | line ->
+              (match String.index_opt line '\t' with
+              | Some k when k > 0 && String.index_from_opt line (k + 1) '\t' = None
+                ->
+                  Hashtbl.replace t.tbl (String.sub line 0 k)
+                    (String.sub line (k + 1) (String.length line - k - 1))
+              | _ -> if line <> "" then t.corrupt <- t.corrupt + 1);
+              go ()
+        in
+        go ()
+
+  let open_ ~path ~resume =
+    let t = { path; tbl = Hashtbl.create 256; ch = None; corrupt = 0 } in
+    if resume then load t;
+    let flags =
+      if resume then [ Open_append; Open_creat; Open_wronly ]
+      else [ Open_trunc; Open_creat; Open_wronly ]
+    in
+    t.ch <- Some (open_out_gen flags 0o644 path);
+    t
+
+  let lookup t key = Hashtbl.find_opt t.tbl key
+
+  let record t ~key payload =
+    if not (well_formed key && well_formed payload) then
+      invalid_arg "Journal.record: tabs/newlines not allowed in key or payload";
+    Hashtbl.replace t.tbl key payload;
+    match t.ch with
+    | None -> ()
+    | Some ch ->
+        output_string ch key;
+        output_char ch '\t';
+        output_string ch payload;
+        output_char ch '\n';
+        (* flush per row: a kill costs at most the row being written, and
+           the loader skips that torn line *)
+        flush ch
+
+  let entries t = Hashtbl.length t.tbl
+  let corrupt t = t.corrupt
+  let path t = t.path
+
+  let close t =
+    match t.ch with
+    | None -> ()
+    | Some ch ->
+        close_out ch;
+        t.ch <- None
+end
+
+(* --- chaos injection --- *)
+
+module Chaos = struct
+  exception Injected of string
+
+  let () =
+    Printexc.register_printer (function
+      | Injected m -> Some (Printf.sprintf "Supervise.Chaos.Injected(%s)" m)
+      | _ -> None)
+
+  let pick ~seed ~n ~k =
+    if k < 0 || k > n then invalid_arg "Chaos.pick: need 0 <= k <= n";
+    let idx = Array.init n (fun i -> i) in
+    let rand = Sim.Rand.create ~seed:(Int64.of_int seed) () in
+    Sim.Rand.shuffle rand idx;
+    List.sort compare (Array.to_list (Array.sub idx 0 k))
+
+  type t = { crash : int list; straggle : int list; straggle_s : float }
+
+  let make ?(crash = []) ?(straggle = []) ?(straggle_s = 0.2) () =
+    { crash; straggle; straggle_s }
+
+  let wrap t f i x =
+    if List.mem i t.crash then
+      raise (Injected (Printf.sprintf "injected task failure at index %d" i));
+    if List.mem i t.straggle then Unix.sleepf t.straggle_s;
+    f i x
+
+  let protocol ?pid ~crash_round (module P : Sim.Protocol_intf.S) :
+      Sim.Protocol_intf.t =
+    (module struct
+      type state = P.state * int  (* pid riding along for the pid filter *)
+      type msg = P.msg
+
+      let name = P.name ^ "+chaos"
+      let init cfg ~pid ~input = (P.init cfg ~pid ~input, pid)
+
+      let step cfg (st, me) ~round ~inbox ~rand =
+        if round = crash_round && (pid = None || pid = Some me) then
+          raise
+            (Injected
+               (Printf.sprintf "injected protocol crash at round %d" round));
+        let st', out = P.step cfg st ~round ~inbox ~rand in
+        ((st', me), out)
+
+      let observe (st, _) = P.observe st
+      let msg_bits = P.msg_bits
+      let msg_hint = P.msg_hint
+    end)
+
+  let corrupt_row = "\xffGARBAGE corrupted row \xfe{not json, no tab payload"
+
+  let corrupt_journal ~path =
+    let ch = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+    output_string ch corrupt_row;
+    (* no trailing newline: simulates a torn write mid-row *)
+    close_out ch
+end

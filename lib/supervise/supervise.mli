@@ -1,0 +1,204 @@
+(** Run supervision and fault containment for sweeps.
+
+    The experiment campaigns in [bench/] and the fuzz soak run thousands of
+    independent simulator tasks; at that scale stragglers and failures are
+    expected, and one pathological run must not discard a whole campaign's
+    work. This layer wraps {!Exec} and {!Sim.Engine.run} with:
+
+    - {b watchdog budgets} ({!Budget}): every supervised task gets a
+      wall-clock timeout plus round / message / random-bit ceilings — the
+      [Config.max_rounds] semantics extended to all the paper's metrics. A
+      breached budget yields a structured {!failure_kind} result, never an
+      exception.
+    - {b failure quarantine} ({!map}): every task runs to completion even
+      when some fail; each failure carries the exception text, backtrace,
+      seed and a replay command, so sweeps degrade to partial results plus
+      a quarantine report instead of aborting.
+    - {b checkpoint/resume} ({!Journal}): a crash-safe, corrupt-tolerant
+      journal of completed work keyed by (experiment, point, seed);
+      interrupted campaigns resume bit-identically because every task is a
+      pure function of its seed.
+    - {b chaos mode} ({!Chaos}): seeded fault injection — exceptions,
+      artificial stragglers, corrupted journal rows — used by the test
+      suite to prove the containment claims above. *)
+
+(** Watchdog budgets for a supervised task. *)
+module Budget : sig
+  type t = {
+    wall_s : float option;  (** wall-clock ceiling, seconds *)
+    max_rounds : int option;  (** engine rounds ceiling (inclusive) *)
+    max_messages : int option;  (** total messages ceiling (inclusive) *)
+    max_rand_bits : int option;  (** total random bits ceiling (inclusive) *)
+  }
+
+  val unlimited : t
+
+  val make :
+    ?wall_s:float ->
+    ?max_rounds:int ->
+    ?max_messages:int ->
+    ?max_rand_bits:int ->
+    unit ->
+    t
+
+  val is_unlimited : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type breach = {
+  metric : string;  (** ["rounds"], ["messages"] or ["rand_bits"] *)
+  limit : float;
+  actual : float;
+  at_round : int;  (** round at which the watchdog tripped *)
+}
+
+type failure_kind =
+  | Crashed of { exn_text : string; backtrace : string }
+  | Timeout of { limit_s : float; elapsed_s : float }
+  | Budget_exceeded of breach
+
+exception Breach of failure_kind
+(** Tasks running under {!map} may raise [Breach kind] to report a
+    structured failure — {!run} errors are typically re-raised this way so
+    the quarantine record keeps the precise kind instead of a generic
+    [Crashed]. *)
+
+(** What a task is, for the quarantine report: a human label, the seed it
+    is a pure function of, and a shell one-liner that reproduces it. *)
+type descriptor = {
+  d_label : string;
+  d_seed : int option;
+  d_replay : string option;
+}
+
+type failure = {
+  index : int;  (** task index within the supervised batch *)
+  label : string;
+  seed : int option;
+  replay : string option;  (** reproduction command, if the caller gave one *)
+  kind : failure_kind;
+  elapsed_s : float;
+}
+
+val pp_failure_kind : Format.formatter -> failure_kind -> unit
+val pp_failure : Format.formatter -> failure -> unit
+
+val failure_json : failure -> string
+(** The quarantine record as a single JSON-lines object (no trailing
+    newline). Schema: [{"kind":"quarantine","index":i,"label":s,
+    "seed":i?,"replay":s?,"failure":"crashed"|"timeout"|"budget_exceeded",
+    ...kind-specific fields...,"elapsed_s":f}]. *)
+
+val run :
+  ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
+  ?budget:Budget.t ->
+  Sim.Protocol_intf.t ->
+  Sim.Config.t ->
+  adversary:Sim.Adversary_intf.t ->
+  inputs:int array ->
+  (Sim.Engine.outcome, failure_kind * Sim.Engine.outcome option) result
+(** {!Sim.Engine.run} under a watchdog. The budget is checked after every
+    round; a breached ceiling stops the engine (same semantics as
+    [max_rounds]) and returns [Error (kind, Some partial_outcome)] with the
+    partial outcome's counters intact — unless the run had already decided,
+    which counts as [Ok]. A raising protocol or adversary (including
+    {!Sim.Engine.Illegal_plan}) returns [Error (Crashed _, None)] instead
+    of propagating. A run that merely hits [cfg.max_rounds] undecided is
+    still [Ok]: not deciding is a measurement, not a supervision failure. *)
+
+val map :
+  ?jobs:int ->
+  ?budget:Budget.t ->
+  ?describe:(int -> 'a -> descriptor) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, failure) result array
+(** Quarantining {!Exec.mapi}: every task is attempted, failures are
+    contained. A task that raises yields [Error] with kind [Crashed] (or
+    the precise kind if it raised {!Breach}); a task that completes but
+    overran [budget.wall_s] yields [Error] with kind [Timeout]. Since no
+    task ever raises into the pool, {!Exec}'s early-cancel fast path never
+    engages — results land in input order with the same determinism
+    contract as {!Exec.map}. Wall-clock enforcement is cooperative: the
+    elapsed time is checked when the task returns (and, for engine tasks
+    run through {!run}, at every round boundary). *)
+
+val map_list :
+  ?jobs:int ->
+  ?budget:Budget.t ->
+  ?describe:(int -> 'a -> descriptor) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, failure) result list
+
+val protect :
+  ?budget:Budget.t ->
+  ?descriptor:descriptor ->
+  (unit -> 'b) ->
+  ('b, failure) result
+(** {!map} over a single task. *)
+
+(** Crash-safe checkpoint journal: one [key TAB payload] line per completed
+    unit of work, flushed as it is written. Payload encoding/decoding is
+    the caller's (decoders should reject truncated rows); corrupt or
+    truncated lines are skipped and counted on load, so a row the chaos
+    suite (or a mid-write kill) mangles costs exactly one recomputed task,
+    never the campaign. Duplicate keys resolve to the latest record. *)
+module Journal : sig
+  type t
+
+  val open_ : path:string -> resume:bool -> t
+  (** [resume:false] truncates any existing journal and starts fresh;
+      [resume:true] loads the surviving rows first, then appends. *)
+
+  val lookup : t -> string -> string option
+  val record : t -> key:string -> string -> unit
+  (** Appends and flushes. Raises [Invalid_argument] if key or payload
+      contain tabs or newlines. *)
+
+  val entries : t -> int
+
+  val corrupt : t -> int
+  (** Corrupt lines skipped on load. *)
+
+  val path : t -> string
+  val close : t -> unit
+end
+
+(** Seeded fault injection, for proving the supervision layer contains
+    what it claims to contain. *)
+module Chaos : sig
+  exception Injected of string
+
+  val pick : seed:int -> n:int -> k:int -> int list
+  (** [k] distinct victim indices in [0, n), drawn by a seeded shuffle —
+      deterministic, sorted. *)
+
+  type t
+
+  val make :
+    ?crash:int list ->
+    ?straggle:int list ->
+    ?straggle_s:float ->
+    unit ->
+    t
+  (** A chaos plan over task indices: tasks in [crash] raise {!Injected};
+      tasks in [straggle] sleep [straggle_s] (default 0.2 s) before
+      running. *)
+
+  val wrap : t -> (int -> 'a -> 'b) -> int -> 'a -> 'b
+  (** Apply the plan to an indexed task function (the shape {!Exec.mapi}
+      and the [describe]-aware sweeps use). *)
+
+  val protocol :
+    ?pid:int -> crash_round:int -> Sim.Protocol_intf.t -> Sim.Protocol_intf.t
+  (** Wrap a protocol so that [step] raises {!Injected} at [crash_round]
+      (for process [pid] only, if given) — a pathological protocol bug on
+      demand, used to test {!run}'s containment. *)
+
+  val corrupt_row : string
+  (** A line guaranteed to parse as neither a journal row nor JSON. *)
+
+  val corrupt_journal : path:string -> unit
+  (** Append {!corrupt_row} to a journal file — simulates a torn write. *)
+end

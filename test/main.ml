@@ -7,6 +7,7 @@ let () =
       ("expander", Test_expander.suite);
       ("groups", Test_groups.suite);
       ("engine", Test_engine.suite);
+      ("supervise", Test_supervise.suite);
       ("voting", Test_voting.suite);
       ("core", Test_core.suite);
       ("auth", Test_auth.suite);

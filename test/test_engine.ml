@@ -195,6 +195,94 @@ let test_max_rounds_cap () =
   Alcotest.(check bool) "not all decided" false
     (Sim.Engine.all_nonfaulty_decided o)
 
+let test_stop_hook () =
+  (* the supervision hook: checked after every round, same halt semantics
+     as max_rounds — the run ends undecided with its counters intact *)
+  let cfg = cfg () in
+  let seen = ref [] in
+  let o =
+    Sim.Engine.run (module Echo) cfg ~adversary:Sim.Adversary_intf.none
+      ~inputs:(Array.init 8 (fun i -> i mod 2))
+      ~stop:(fun p ->
+        seen := p :: !seen;
+        p.Sim.Engine.p_round >= 2)
+  in
+  Alcotest.(check int) "halted at round 2" 2 o.Sim.Engine.rounds_total;
+  Alcotest.(check (option int)) "undecided" None o.decided_round;
+  match List.rev !seen with
+  | [ p1; p2 ] ->
+      Alcotest.(check int) "round 1 progress" 1 p1.Sim.Engine.p_round;
+      (* 8 processes broadcast to 7 peers, 3 bits per message *)
+      Alcotest.(check int) "messages after round 1" 56 p1.p_messages;
+      Alcotest.(check int) "bits after round 1" (56 * 3) p1.p_bits;
+      Alcotest.(check int) "rand bits after round 1" 1 p1.p_rand_bits;
+      Alcotest.(check int) "counters cumulative" 112 p2.p_messages;
+      Alcotest.(check int) "rand calls tracked" 2 p2.p_rand_calls
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 probes, got %d" (List.length l))
+
+let test_stop_not_consulted_after_decision () =
+  (* a decision at round 4 ends the run before the hook is consulted for
+     that round: deciding always wins over supervision *)
+  let calls = ref 0 in
+  let cfg = cfg () in
+  let o =
+    Sim.Engine.run (module Echo) cfg ~adversary:Sim.Adversary_intf.none
+      ~inputs:(Array.init 8 (fun i -> i mod 2))
+      ~stop:(fun _ ->
+        incr calls;
+        false)
+  in
+  Alcotest.(check (option int)) "decided normally" (Some 4) o.Sim.Engine.decided_round;
+  Alcotest.(check int) "hook consulted for undecided rounds only" 3 !calls
+
+let test_out_of_range_corruption_rejected () =
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "wild";
+      create =
+        (fun _ _ view ->
+          if view.Sim.View.round = 1 then
+            { Sim.View.new_faults = [ 99 ]; omit = (fun _ _ -> false) }
+          else Sim.View.no_op);
+    }
+  in
+  Alcotest.(check bool) "pid 99 corruption raises" true
+    (try
+       ignore (run ~adversary ());
+       false
+     with Sim.Engine.Illegal_plan _ -> true)
+
+let test_exact_budget_boundary_allowed () =
+  (* corrupting exactly t processes is legal; it is the (t+1)-th that
+     the engine rejects *)
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "edge";
+      create =
+        (fun _ _ view ->
+          if view.Sim.View.round = 1 then
+            { Sim.View.new_faults = [ 0; 1 ]; omit = (fun _ _ -> false) }
+          else Sim.View.no_op);
+    }
+  in
+  let o = run ~t:2 ~adversary () in
+  Alcotest.(check int) "full budget used" 2 o.Sim.Engine.faults_used;
+  Alcotest.(check bool) "both marked" true (o.faulty.(0) && o.faulty.(1))
+
+let test_recorruption_is_free () =
+  (* re-declaring an already-faulty process consumes no budget *)
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "repeater";
+      create =
+        (fun _ _ _ -> { Sim.View.new_faults = [ 5 ]; omit = (fun _ _ -> false) });
+    }
+  in
+  let o = run ~t:2 ~adversary () in
+  Alcotest.(check int) "one fault despite re-declares" 1
+    o.Sim.Engine.faults_used;
+  Alcotest.(check bool) "pid 5 faulty" true o.faulty.(5)
+
 let test_view_contents () =
   (* the adversary sees candidates, coin usage, and envelopes *)
   let seen_coin = ref false and seen_envelopes = ref false in
@@ -259,6 +347,15 @@ let suite =
     Alcotest.test_case "inbox sorted by sender" `Quick
       test_inbox_sorted_by_sender;
     Alcotest.test_case "max_rounds cap" `Quick test_max_rounds_cap;
+    Alcotest.test_case "stop hook halts with counters" `Quick test_stop_hook;
+    Alcotest.test_case "decision beats stop hook" `Quick
+      test_stop_not_consulted_after_decision;
+    Alcotest.test_case "out-of-range corruption rejected" `Quick
+      test_out_of_range_corruption_rejected;
+    Alcotest.test_case "exact budget boundary allowed" `Quick
+      test_exact_budget_boundary_allowed;
+    Alcotest.test_case "re-corruption consumes no budget" `Quick
+      test_recorruption_is_free;
     Alcotest.test_case "adversary view contents" `Quick test_view_contents;
     Alcotest.test_case "outcome helpers" `Quick test_agreed_decision_helpers;
     Alcotest.test_case "input validation" `Quick test_input_validation;

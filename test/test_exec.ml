@@ -58,6 +58,39 @@ let test_exception_propagation () =
   Alcotest.check_raises "serial path raises too" (Boom 11) (fun () ->
       ignore (Exec.init ~jobs:1 64 f))
 
+let test_early_cancel () =
+  (* once a failure is noted, higher-indexed tasks still pending are
+     skipped — the raise does not wait for the whole batch *)
+  let executed = Atomic.make 0 in
+  let n = 600 in
+  let f i =
+    Atomic.incr executed;
+    if i = 0 then raise (Boom 0);
+    (* enough work per task that most of the batch is still pending when
+       task 0's failure lands *)
+    let acc = ref 0 in
+    for k = 1 to 20_000 do
+      acc := !acc + (k mod 7)
+    done;
+    ignore !acc;
+    i
+  in
+  Alcotest.check_raises "task 0 failure propagates" (Boom 0) (fun () ->
+      ignore (Exec.init ~jobs:4 n f));
+  Alcotest.(check bool) "pending tasks were cancelled" true
+    (Atomic.get executed < n);
+  (* determinism of the propagated exception is untouched: a failure at
+     the highest index can cancel nothing below it, so every lower task
+     still runs (and would win if it failed) *)
+  Atomic.set executed 0;
+  let g i =
+    Atomic.incr executed;
+    if i = n - 1 then raise (Boom (n - 1)) else i
+  in
+  Alcotest.check_raises "highest-index failure cancels nothing"
+    (Boom (n - 1)) (fun () -> ignore (Exec.init ~jobs:4 n g));
+  Alcotest.(check int) "every task attempted" n (Atomic.get executed)
+
 let test_empty_and_small () =
   Alcotest.(check (array int)) "empty input" [||]
     (Exec.map ~jobs:4 (fun x -> x) [||]);
@@ -92,6 +125,7 @@ let suite =
     Alcotest.test_case "task ordering stable" `Quick test_ordering_stable;
     Alcotest.test_case "exception propagation" `Quick
       test_exception_propagation;
+    Alcotest.test_case "early cancel after failure" `Quick test_early_cancel;
     Alcotest.test_case "empty and small inputs" `Quick test_empty_and_small;
     Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
     Alcotest.test_case "default jobs override" `Quick test_default_jobs;

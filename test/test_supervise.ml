@@ -1,0 +1,395 @@
+(* Tests for the run supervision layer: watchdog budgets, failure
+   quarantine, the checkpoint journal, and chaos-mode fault injection.
+   The chaos tests are the containment proof the module's docstring
+   promises: injected failures are quarantined while every other task's
+   result stays bit-identical to a fault-free run. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i =
+    i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1))
+  in
+  at 0
+
+let cfg ?(n = 8) ?(max_rounds = 10) () =
+  Sim.Config.make ~n ~t_max:2 ~seed:1 ~max_rounds ()
+
+let echo = (module Test_engine.Echo : Sim.Protocol_intf.S)
+
+let srun ?budget ?(proto = echo) ?(n = 8) ?(max_rounds = 10) () =
+  Supervise.run ?budget proto
+    (cfg ~n ~max_rounds ())
+    ~adversary:Sim.Adversary_intf.none
+    ~inputs:(Array.init n (fun i -> i mod 2))
+
+(* --- watchdog budgets over the engine --- *)
+
+let test_round_budget () =
+  (* echo decides at round 4; a 2-round ceiling trips first *)
+  match srun ~budget:(Supervise.Budget.make ~max_rounds:2 ()) () with
+  | Error (Supervise.Budget_exceeded b, Some partial) ->
+      Alcotest.(check string) "metric" "rounds" b.Supervise.metric;
+      Alcotest.(check int) "tripped at round 2" 2 b.at_round;
+      Alcotest.(check int) "partial outcome kept its counters" 2
+        partial.Sim.Engine.rounds_total;
+      Alcotest.(check (option int)) "undecided" None partial.decided_round
+  | _ -> Alcotest.fail "expected Budget_exceeded(rounds) with partial outcome"
+
+let test_message_budget () =
+  (* echo broadcasts 8*7 = 56 messages a round; 60 allows one round *)
+  match srun ~budget:(Supervise.Budget.make ~max_messages:60 ()) () with
+  | Error (Supervise.Budget_exceeded b, Some partial) ->
+      Alcotest.(check string) "metric" "messages" b.Supervise.metric;
+      Alcotest.(check int) "tripped at round 2" 2 b.at_round;
+      Alcotest.(check int) "actual = cumulative messages" 112
+        (int_of_float b.actual);
+      Alcotest.(check int) "partial counters intact" 112
+        partial.Sim.Engine.messages_sent
+  | _ -> Alcotest.fail "expected Budget_exceeded(messages)"
+
+let test_rand_bits_budget () =
+  (* only pid 0 flips a coin, one bit per round; ceiling 2 is inclusive,
+     so the third bit trips it *)
+  match srun ~budget:(Supervise.Budget.make ~max_rand_bits:2 ()) () with
+  | Error (Supervise.Budget_exceeded b, Some partial) ->
+      Alcotest.(check string) "metric" "rand_bits" b.Supervise.metric;
+      Alcotest.(check int) "tripped at round 3" 3 b.at_round;
+      Alcotest.(check int) "partial rand bits" 3 partial.Sim.Engine.rand_bits
+  | _ -> Alcotest.fail "expected Budget_exceeded(rand_bits)"
+
+let test_wall_budget () =
+  match srun ~budget:(Supervise.Budget.make ~wall_s:1e-9 ()) () with
+  | Error (Supervise.Timeout { limit_s; elapsed_s }, Some partial) ->
+      Alcotest.(check bool) "limit recorded" true (limit_s = 1e-9);
+      Alcotest.(check bool) "elapsed > limit" true (elapsed_s > limit_s);
+      Alcotest.(check int) "stopped after the first round" 1
+        partial.Sim.Engine.rounds_total
+  | _ -> Alcotest.fail "expected Timeout"
+
+let test_decided_beats_breach () =
+  (* the decision lands at round 4, the same round the ceiling would trip:
+     deciding wins — a finished measurement is never a supervision failure *)
+  match srun ~budget:(Supervise.Budget.make ~max_rounds:4 ()) () with
+  | Ok o ->
+      Alcotest.(check (option int)) "decided" (Some 4) o.Sim.Engine.decided_round
+  | Error _ -> Alcotest.fail "a decided run must be Ok"
+
+let test_max_rounds_is_not_a_breach () =
+  (* running out of cfg.max_rounds undecided is a measurement, not a
+     failure: only explicit budget ceilings quarantine *)
+  match
+    srun ~budget:(Supervise.Budget.make ~max_rounds:50 ()) ~max_rounds:3 ()
+  with
+  | Ok o ->
+      Alcotest.(check (option int)) "undecided" None o.Sim.Engine.decided_round;
+      Alcotest.(check int) "capped by config" 3 o.rounds_total
+  | Error _ -> Alcotest.fail "cfg.max_rounds exhaustion must stay Ok"
+
+let test_unlimited_budget_ok () =
+  match srun ~budget:Supervise.Budget.unlimited () with
+  | Ok o ->
+      Alcotest.(check (option int)) "decides normally" (Some 4)
+        o.Sim.Engine.decided_round
+  | Error _ -> Alcotest.fail "unlimited budget must not interfere"
+
+let test_budget_validation () =
+  Alcotest.check_raises "non-positive ceiling rejected"
+    (Invalid_argument "Budget.make: max_rounds must be positive") (fun () ->
+      ignore (Supervise.Budget.make ~max_rounds:0 ()));
+  Alcotest.(check bool) "make () is unlimited" true
+    (Supervise.Budget.is_unlimited (Supervise.Budget.make ()))
+
+(* --- crash containment in Supervise.run --- *)
+
+let test_protocol_crash_contained () =
+  let proto = Supervise.Chaos.protocol ~crash_round:2 echo in
+  match srun ~proto () with
+  | Error (Supervise.Crashed { exn_text; _ }, None) ->
+      Alcotest.(check bool) "exception text identifies the injection" true
+        (contains (String.lowercase_ascii exn_text) "injected")
+  | _ -> Alcotest.fail "a raising protocol must be Error (Crashed, None)"
+
+let test_protocol_crash_pid_filter () =
+  (* the victim pid never exists at n = 8, so the wrapped protocol is
+     indistinguishable from the original *)
+  let proto = Supervise.Chaos.protocol ~pid:99 ~crash_round:2 echo in
+  match (srun ~proto (), srun ()) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "outcome bit-identical to unwrapped" true (a = b)
+  | _ -> Alcotest.fail "non-matching pid must not crash"
+
+let test_illegal_plan_contained () =
+  let adversary =
+    {
+      Sim.Adversary_intf.name = "cheater";
+      create =
+        (fun _ _ _ -> { Sim.View.new_faults = []; omit = (fun _ _ -> true) });
+    }
+  in
+  let r =
+    Supervise.run echo (cfg ()) ~adversary
+      ~inputs:(Array.init 8 (fun i -> i mod 2))
+  in
+  match r with
+  | Error (Supervise.Crashed { exn_text; _ }, None) ->
+      Alcotest.(check bool) "Illegal_plan captured as text" true
+        (exn_text <> "")
+  | _ -> Alcotest.fail "Illegal_plan must be contained, not propagated"
+
+(* --- quarantining map: the chaos containment proof --- *)
+
+(* a real seeded sweep task, pure in its index *)
+let sweep_task i =
+  let n = 16 and seed = i + 1 in
+  let cfg = Sim.Config.make ~n ~t_max:4 ~seed ~max_rounds:2000 () in
+  let proto = Consensus.Bjbo.protocol cfg in
+  let inputs = Array.init n (fun j -> j mod 2) in
+  Sim.Engine.run proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs
+
+let describe i _ =
+  {
+    Supervise.d_label = Printf.sprintf "chaos-sweep/seed=%d" (i + 1);
+    d_seed = Some (i + 1);
+    d_replay =
+      Some
+        (Printf.sprintf
+           "dune exec bin/consensus_sim.exe -- run -p bjbo -n 16 -t 4 \
+            --seed %d -a splitter"
+           (i + 1));
+  }
+
+let test_chaos_containment () =
+  let n = 12 in
+  let idxs = Array.init n (fun i -> i) in
+  let baseline = Array.map sweep_task idxs in
+  (* seeded victim selection: 3 crashes, 2 stragglers among the survivors *)
+  let crash = Supervise.Chaos.pick ~seed:42 ~n ~k:3 in
+  let straggle =
+    List.filteri
+      (fun i _ -> i < 2)
+      (List.filter (fun i -> not (List.mem i crash)) (Array.to_list idxs))
+  in
+  let plan = Supervise.Chaos.make ~crash ~straggle ~straggle_s:0.01 () in
+  let results =
+    Supervise.map ~jobs:4 ~describe
+      (fun i -> Supervise.Chaos.wrap plan (fun _ j -> sweep_task j) i i)
+      idxs
+  in
+  Alcotest.(check int) "every task has a slot" n (Array.length results);
+  let quarantined = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok o ->
+          Alcotest.(check bool)
+            (Printf.sprintf "survivor %d bit-identical to fault-free run" i)
+            true
+            (o = baseline.(i));
+          Alcotest.(check bool)
+            (Printf.sprintf "%d was not a crash victim" i)
+            false (List.mem i crash)
+      | Error fl -> (
+          incr quarantined;
+          Alcotest.(check bool)
+            (Printf.sprintf "%d was a chosen victim" i)
+            true (List.mem i crash);
+          Alcotest.(check int) "failure index" i fl.Supervise.index;
+          Alcotest.(check string) "failure label"
+            (Printf.sprintf "chaos-sweep/seed=%d" (i + 1))
+            fl.label;
+          Alcotest.(check (option int)) "failure seed" (Some (i + 1)) fl.seed;
+          Alcotest.(check bool) "replay command present" true
+            (fl.replay <> None);
+          match fl.kind with
+          | Supervise.Crashed { exn_text; _ } ->
+              Alcotest.(check bool) "injection visible in record" true
+                (contains (String.lowercase_ascii exn_text) "injected")
+          | _ -> Alcotest.fail "injected crash must quarantine as Crashed"))
+    results;
+  Alcotest.(check int) "exactly k quarantined" (List.length crash) !quarantined
+
+let test_map_breach_passthrough () =
+  (* a task that raises Breach keeps its precise kind in quarantine *)
+  let kind = Supervise.Timeout { limit_s = 1.0; elapsed_s = 2.0 } in
+  let r =
+    Supervise.map ~jobs:1
+      (fun i -> if i = 1 then raise (Supervise.Breach kind) else i)
+      [| 0; 1; 2 |]
+  in
+  (match r.(1) with
+  | Error { kind = Supervise.Timeout { limit_s; _ }; _ } ->
+      Alcotest.(check bool) "kind preserved" true (limit_s = 1.0)
+  | _ -> Alcotest.fail "Breach kind must pass through verbatim");
+  match (r.(0), r.(2)) with
+  | Ok 0, Ok 2 -> ()
+  | _ -> Alcotest.fail "neighbours unaffected"
+
+let test_map_wall_timeout () =
+  let budget = Supervise.Budget.make ~wall_s:0.005 () in
+  let r =
+    Supervise.map ~jobs:1 ~budget
+      (fun i ->
+        if i = 0 then Unix.sleepf 0.05;
+        i)
+      [| 0; 1 |]
+  in
+  (match r.(0) with
+  | Error { kind = Supervise.Timeout _; _ } -> ()
+  | _ -> Alcotest.fail "overrunning task must time out");
+  match r.(1) with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "fast task unaffected"
+
+let test_protect_and_json () =
+  let d =
+    {
+      Supervise.d_label = "solo \"quoted\"";
+      d_seed = Some 7;
+      d_replay = Some "echo replay";
+    }
+  in
+  match Supervise.protect ~descriptor:d (fun () -> failwith "boom") with
+  | Ok _ -> Alcotest.fail "raising task must be quarantined"
+  | Error fl ->
+      Alcotest.(check int) "single-task index" 0 fl.Supervise.index;
+      let j = Supervise.failure_json fl in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true
+            (contains j needle))
+        [
+          "\"kind\":\"quarantine\"";
+          "\"failure\":\"crashed\"";
+          "\"label\":\"solo \\\"quoted\\\"\"";
+          "\"seed\":7";
+          "\"replay\":\"echo replay\"";
+          "\"exn\":";
+          "\"elapsed_s\":";
+        ]
+
+(* --- checkpoint journal --- *)
+
+let temp_journal () = Filename.temp_file "supervise_test" ".journal"
+
+let test_journal_roundtrip () =
+  let path = temp_journal () in
+  let j = Supervise.Journal.open_ ~path ~resume:false in
+  Supervise.Journal.record j ~key:"t1|n=64|seed=1" "12 3456 789";
+  Supervise.Journal.record j ~key:"t1|n=64|seed=2" "13 3457 790";
+  Supervise.Journal.record j ~key:"t1|n=64|seed=1" "99 9999 999";
+  Alcotest.(check int) "duplicate keys collapse" 2 (Supervise.Journal.entries j);
+  Alcotest.(check (option string)) "latest record wins" (Some "99 9999 999")
+    (Supervise.Journal.lookup j "t1|n=64|seed=1");
+  Supervise.Journal.close j;
+  (* reopen for resume: everything survives the restart *)
+  let j2 = Supervise.Journal.open_ ~path ~resume:true in
+  Alcotest.(check int) "entries reloaded" 2 (Supervise.Journal.entries j2);
+  Alcotest.(check int) "no corruption" 0 (Supervise.Journal.corrupt j2);
+  Alcotest.(check (option string)) "lookup after reload" (Some "13 3457 790")
+    (Supervise.Journal.lookup j2 "t1|n=64|seed=2");
+  Alcotest.(check (option string)) "miss is None" None
+    (Supervise.Journal.lookup j2 "t1|n=64|seed=3");
+  Supervise.Journal.close j2;
+  Sys.remove path
+
+let test_journal_corruption_skipped () =
+  let path = temp_journal () in
+  let j = Supervise.Journal.open_ ~path ~resume:false in
+  Supervise.Journal.record j ~key:"a" "1";
+  Supervise.Journal.record j ~key:"b" "2";
+  Supervise.Journal.close j;
+  (* chaos: a torn write lands mid-file garbage; only that row is lost *)
+  Supervise.Chaos.corrupt_journal ~path;
+  let j2 = Supervise.Journal.open_ ~path ~resume:true in
+  Alcotest.(check int) "good rows survive" 2 (Supervise.Journal.entries j2);
+  Alcotest.(check int) "corrupt row counted" 1 (Supervise.Journal.corrupt j2);
+  Alcotest.(check (option string)) "good row readable" (Some "2")
+    (Supervise.Journal.lookup j2 "b");
+  Supervise.Journal.close j2;
+  Sys.remove path
+
+let test_journal_fresh_truncates () =
+  let path = temp_journal () in
+  let j = Supervise.Journal.open_ ~path ~resume:false in
+  Supervise.Journal.record j ~key:"stale" "1";
+  Supervise.Journal.close j;
+  let j2 = Supervise.Journal.open_ ~path ~resume:false in
+  Alcotest.(check int) "resume:false starts empty" 0
+    (Supervise.Journal.entries j2);
+  Alcotest.(check (option string)) "stale row gone" None
+    (Supervise.Journal.lookup j2 "stale");
+  Supervise.Journal.close j2;
+  Sys.remove path
+
+let test_journal_rejects_separators () =
+  let path = temp_journal () in
+  let j = Supervise.Journal.open_ ~path ~resume:false in
+  Alcotest.(check bool) "tab in key rejected" true
+    (try
+       Supervise.Journal.record j ~key:"a\tb" "1";
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "newline in payload rejected" true
+    (try
+       Supervise.Journal.record j ~key:"a" "1\n2";
+       false
+     with Invalid_argument _ -> true);
+  Supervise.Journal.close j;
+  Sys.remove path
+
+(* --- chaos victim selection --- *)
+
+let test_chaos_pick () =
+  let a = Supervise.Chaos.pick ~seed:5 ~n:20 ~k:6 in
+  let b = Supervise.Chaos.pick ~seed:5 ~n:20 ~k:6 in
+  Alcotest.(check (list int)) "deterministic in seed" a b;
+  Alcotest.(check int) "k victims" 6 (List.length a);
+  Alcotest.(check (list int)) "sorted" (List.sort compare a) a;
+  Alcotest.(check int) "distinct" 6
+    (List.length (List.sort_uniq compare a));
+  List.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 20))
+    a;
+  let c = Supervise.Chaos.pick ~seed:6 ~n:20 ~k:6 in
+  Alcotest.(check bool) "seed changes the draw" true (a <> c);
+  Alcotest.(check (list int)) "k=n is everyone"
+    (List.init 20 Fun.id)
+    (Supervise.Chaos.pick ~seed:1 ~n:20 ~k:20);
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Chaos.pick: need 0 <= k <= n") (fun () ->
+      ignore (Supervise.Chaos.pick ~seed:1 ~n:3 ~k:4))
+
+let suite =
+  [
+    Alcotest.test_case "round budget breach" `Quick test_round_budget;
+    Alcotest.test_case "message budget breach" `Quick test_message_budget;
+    Alcotest.test_case "rand-bits budget breach" `Quick test_rand_bits_budget;
+    Alcotest.test_case "wall-clock timeout" `Quick test_wall_budget;
+    Alcotest.test_case "decided run beats breach" `Quick
+      test_decided_beats_breach;
+    Alcotest.test_case "max_rounds is a measurement" `Quick
+      test_max_rounds_is_not_a_breach;
+    Alcotest.test_case "unlimited budget" `Quick test_unlimited_budget_ok;
+    Alcotest.test_case "budget validation" `Quick test_budget_validation;
+    Alcotest.test_case "protocol crash contained" `Quick
+      test_protocol_crash_contained;
+    Alcotest.test_case "chaos pid filter" `Quick test_protocol_crash_pid_filter;
+    Alcotest.test_case "Illegal_plan contained" `Quick
+      test_illegal_plan_contained;
+    Alcotest.test_case "chaos containment: N-k bit-identical, k quarantined"
+      `Quick test_chaos_containment;
+    Alcotest.test_case "Breach kind passthrough" `Quick
+      test_map_breach_passthrough;
+    Alcotest.test_case "map wall timeout" `Quick test_map_wall_timeout;
+    Alcotest.test_case "protect + quarantine JSON schema" `Quick
+      test_protect_and_json;
+    Alcotest.test_case "journal roundtrip and resume" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "journal corruption skipped" `Quick
+      test_journal_corruption_skipped;
+    Alcotest.test_case "journal fresh run truncates" `Quick
+      test_journal_fresh_truncates;
+    Alcotest.test_case "journal separator validation" `Quick
+      test_journal_rejects_separators;
+    Alcotest.test_case "chaos pick" `Quick test_chaos_pick;
+  ]
