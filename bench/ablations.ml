@@ -113,7 +113,7 @@ let abl_epochs ~quick () =
      fallback (the paper's whp argument).\n";
   let n = if quick then 64 else 100 in
   let t = max 1 (n / 31) in
-  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let seeds = Bench_util.seed_list [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   (* the voting part ends after epochs * epoch_len + 2; later decisions
      mean the fallback ran *)
   row "%8s %12s %16s %12s\n" "epochs" "avg rounds" "fallback runs"

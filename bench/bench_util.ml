@@ -14,8 +14,18 @@ let row fmt = Printf.printf fmt
 (* (JSON Lines) into BENCH_consensus.json, alongside the stdout table. *)
 (* ------------------------------------------------------------------ *)
 
+(* Version of the JSON-lines schema written below; bump when a record's
+   shape changes. Documented in EXPERIMENTS.md ("JSON schema"). *)
+let schema_version = 2
+
 module Out = struct
-  type jv = I of int | F of float | S of string | B of bool
+  type jv =
+    | I of int
+    | F of float
+    | S of string
+    | B of bool
+    | L of jv list
+    | Raw of string  (** pre-rendered JSON, emitted verbatim *)
 
   let sink : out_channel option ref = ref None
   let experiment = ref ""
@@ -26,6 +36,7 @@ module Out = struct
      produce byte-identical files *)
   let stable = ref false
   let set_stable b = stable := b
+  let is_stable () = !stable
 
   let set_path = function
     | None -> sink := None
@@ -51,25 +62,29 @@ module Out = struct
       s;
     Buffer.contents b
 
-  let jv_to_string = function
+  let rec jv_to_string = function
     | I i -> string_of_int i
     | F f ->
         (* JSON has no inf/nan literals *)
         if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
     | S s -> Printf.sprintf "\"%s\"" (escape s)
     | B b -> string_of_bool b
+    | L l -> "[" ^ String.concat "," (List.map jv_to_string l) ^ "]"
+    | Raw s -> s
 
   (* One self-contained JSON object per line: experiment id, record kind,
-     wall-clock seconds since the experiment started (unless in stable
-     mode), then the caller's parameter/metric fields in order. *)
+     schema version, wall-clock seconds since the experiment started
+     (unless in stable mode), then the caller's parameter/metric fields in
+     order. *)
   let emit ?(kind = "row") fields =
     match !sink with
     | None -> ()
     | Some ch ->
         let b = Buffer.create 128 in
         Buffer.add_string b
-          (Printf.sprintf "{\"experiment\":\"%s\",\"kind\":\"%s\""
-             (escape !experiment) (escape kind));
+          (Printf.sprintf
+             "{\"experiment\":\"%s\",\"kind\":\"%s\",\"schema_version\":%d"
+             (escape !experiment) (escape kind) schema_version);
         if not !stable then
           Buffer.add_string b (Printf.sprintf ",\"wall_s\":%.3f" (elapsed ()));
         List.iter
@@ -95,6 +110,78 @@ end
 
 (* wired from --wall-budget / --round-budget / --msg-budget / --rand-budget *)
 let budget = ref Supervise.Budget.unlimited
+
+(* ------------------------------------------------------------------ *)
+(* Tracing configuration (wired from --trace / --trace-dir /           *)
+(* --trace-format / --trace-tail on bench/main.exe).                    *)
+(* ------------------------------------------------------------------ *)
+
+(* --trace: collect Trace.Metrics per run and tee kind="trace-metrics"
+   records into the JSON sink *)
+let trace_metrics = ref false
+
+(* --trace-tail K: keep the last K rounds of events per supervised run;
+   quarantine records then ship with the tail. 0 = off (the default: the
+   engine's off path stays allocation-free). *)
+let trace_tail_rounds = ref 0
+
+(* --trace-dir DIR: write each run's full event trace to a file in DIR *)
+let trace_dir : string option ref = ref None
+
+(* --trace-format *)
+let trace_format = ref Trace.Jsonl
+
+let tracing_on () =
+  !trace_metrics || !trace_tail_rounds > 0 || !trace_dir <> None
+
+(* --seeds N: override each experiment's default per-point seed list *)
+let seeds_override : int option ref = ref None
+
+let seed_list default =
+  match !seeds_override with
+  | None -> default
+  | Some k -> List.init k (fun i -> i + 1)
+
+(* Per-run trace files are named after the supervised task's label (the
+   sweep point), with a per-label sequence number for tasks that measure
+   more than once. The counter lives in domain-local storage: a task runs
+   entirely on one domain, so same-label runs are numbered deterministically
+   at any --jobs count. *)
+let trace_seq_key : (string * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ("", ref 0))
+
+let trace_file_path () =
+  match !trace_dir with
+  | None -> None
+  | Some dir ->
+      let label =
+        match Supervise.current_label () with
+        | Some l -> l
+        | None -> "run"
+      in
+      let seq =
+        let cur_label, count = Domain.DLS.get trace_seq_key in
+        if cur_label = label then begin
+          incr count;
+          !count
+        end
+        else begin
+          Domain.DLS.set trace_seq_key (label, ref 1);
+          1
+        end
+      in
+      let sanitized =
+        String.map
+          (fun c ->
+            match c with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+            | _ -> '_')
+          label
+      in
+      Some
+        (Filename.concat dir
+           (Printf.sprintf "%s.%s.%d.trace.%s" !Out.experiment sanitized seq
+              (Trace.format_extension !trace_format)))
 
 (* the checkpoint journal behind --resume, or None when disabled *)
 let journal : Supervise.Journal.t option ref = ref None
@@ -160,7 +247,14 @@ let quarantine (f : Supervise.failure) =
           ("at_round", Out.I at_round);
         ]
   in
-  Out.emit ~kind:"quarantine" (base @ seed @ replay @ kind)
+  let trace =
+    (* the tail's lines are already JSON event objects *)
+    match f.Supervise.trace with
+    | [] -> []
+    | lines ->
+        [ ("trace", Out.Raw ("[" ^ String.concat "," lines ^ "]")) ]
+  in
+  Out.emit ~kind:"quarantine" (base @ seed @ replay @ kind @ trace)
 
 let skip_point ~label ~reason =
   incr skipped_points;
@@ -197,6 +291,9 @@ type run_measure = {
   rand_calls : int;
   rand_bits : int;
   faults : int;
+  metrics : Trace.Metrics.summary option;
+      (** per-round trace metrics, when --trace is on (absent on
+          journal-resumed rows: the journal codec keeps only the scalars) *)
 }
 
 exception Violation of string
@@ -205,12 +302,51 @@ exception Violation of string
    campaign — but it is always reported, never averaged over. *)
 
 let measure ?on_round proto cfg ~adversary ~inputs =
+  (* Assemble the run's trace sinks. All stay [None]/empty unless a trace
+     flag is set, keeping the default path identical to the untraced one. *)
+  let tail =
+    if !trace_tail_rounds > 0 then
+      Some (Trace.Tail.create ~rounds:!trace_tail_rounds ())
+    else None
+  in
+  let collector =
+    if !trace_metrics then Some (Trace.Metrics.collector ()) else None
+  in
+  let file_sink =
+    match trace_file_path () with
+    | None -> None
+    | Some path -> Some (Trace.Sink.file ~path ~format:!trace_format)
+  in
+  let sinks =
+    List.filter_map Fun.id
+      [
+        Option.map Trace.Tail.sink tail;
+        Option.map fst collector;
+        file_sink;
+      ]
+  in
+  let trace = match sinks with [] -> None | l -> Some (Trace.Sink.tee_all l) in
+  let close_file () = Option.iter Trace.Sink.close file_sink in
+  (* A failing run re-raises with the tail attached, so the quarantine
+     record ships with the last rounds of events. *)
+  let fail kind =
+    close_file ();
+    match tail with
+    | Some t -> raise (Supervise.Breach_traced (kind, Trace.Tail.lines t))
+    | None -> raise (Supervise.Breach kind)
+  in
   let o =
     match
-      Supervise.run ?on_round ~budget:!budget proto cfg ~adversary ~inputs
+      Supervise.run ?on_round ?trace ~budget:!budget proto cfg ~adversary
+        ~inputs
     with
-    | Ok o -> o
-    | Error (kind, _partial) -> raise (Supervise.Breach kind)
+    | Ok o ->
+        close_file ();
+        o
+    | Error (kind, _partial) -> fail kind
+    | exception e ->
+        close_file ();
+        raise e
   in
   (* Disagreement between processes that did decide is a protocol bug; it
      becomes a quarantined failure under Supervise.map. A run that merely
@@ -228,11 +364,22 @@ let measure ?on_round proto cfg ~adversary ~inputs =
       o.Sim.Engine.decisions;
     !bad
   in
+  let violation msg =
+    (* keep the plain Violation when no tail is kept, so untraced campaigns
+       quarantine exactly as before; with a tail, ship it along *)
+    match tail with
+    | Some t ->
+        raise
+          (Supervise.Breach_traced
+             ( Supervise.Crashed
+                 { exn_text = "Violation: " ^ msg; backtrace = "" },
+               Trace.Tail.lines t ))
+    | None -> raise (Violation msg)
+  in
   if disagreement then
-    raise (Violation "run violated consensus — this is a bug, please report");
+    violation "run violated consensus — this is a bug, please report";
   if o.Sim.Engine.decided_round <> None && Sim.Engine.agreed_decision o = None
-  then
-    raise (Violation "run violated consensus — this is a bug, please report");
+  then violation "run violated consensus — this is a bug, please report";
   {
     rounds =
       (match o.Sim.Engine.decided_round with
@@ -244,6 +391,7 @@ let measure ?on_round proto cfg ~adversary ~inputs =
     rand_calls = o.rand_calls;
     rand_bits = o.rand_bits;
     faults = o.faults_used;
+    metrics = Option.map (fun (_, summary) -> summary ()) collector;
   }
 
 (* journal codec for run_measure; the decoder rejects torn rows *)
@@ -264,6 +412,7 @@ let measure_of_string s =
             rand_calls = int_of_string rc;
             rand_bits = int_of_string rb;
             faults = int_of_string f;
+            metrics = None;
           }
       with _ -> None)
   | _ -> None
@@ -276,7 +425,45 @@ let measure_codec = (measure_to_string, measure_of_string)
    exponents. Returns [None] — a skipped point, reported and counted, the
    campaign continues — when no measurement survives, either because every
    run was quarantined upstream or because none decided in time. *)
+(* One kind="trace-metrics" record per traced run: the Trace.Metrics
+   summary totals plus the per-round histograms. Emitted from the main
+   domain (avg_runs runs after the sweep), never from workers, so record
+   order is deterministic at any --jobs count. *)
+let emit_trace_metrics ~label ms =
+  List.iteri
+    (fun i (m : run_measure) ->
+      match m.metrics with
+      | None -> ()
+      | Some (s : Trace.Metrics.summary) ->
+          let per_round g = Out.L (List.map (fun r -> Out.I (g r)) s.per_round) in
+          Out.emit ~kind:"trace-metrics"
+            ([
+               ("label", Out.S label);
+               ("run", Out.I i);
+               ("rounds", Out.I s.rounds);
+               ("messages", Out.I s.messages);
+               ("bits", Out.I s.bits);
+               ("omitted", Out.I s.omitted);
+               ("corruptions", Out.I s.corruptions);
+               ("coin_calls", Out.I s.coin_calls);
+               ("coin_bits", Out.I s.coin_bits);
+               ("decisions", Out.I s.decisions);
+               ("max_round_messages", Out.I s.max_round_messages);
+               ("max_round_bits", Out.I s.max_round_bits);
+               ("max_round_coin_bits", Out.I s.max_round_coin_bits);
+               ( "round_messages",
+                 per_round (fun r -> r.Trace.Metrics.messages) );
+               ("round_bits", per_round (fun r -> r.Trace.Metrics.bits));
+               ( "round_coin_bits",
+                 per_round (fun r -> r.Trace.Metrics.coin_bits) );
+             ]
+            @
+            if Out.is_stable () then []
+            else [ ("trace_wall_s", Out.F s.wall_total_s) ]))
+    ms
+
 let avg_runs ?(label = "") ms =
+  emit_trace_metrics ~label ms;
   let total = List.length ms in
   if total = 0 then begin
     skip_point ~label ~reason:"no surviving runs (all quarantined)";

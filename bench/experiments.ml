@@ -14,7 +14,7 @@ let t1_thm1 ~quick () =
     "t = floor(n/31) (the algorithm's Theta(n) maximum), adversary = \
      vote-splitter, 3 seeds.\n";
   let ns = if quick then [ 64; 100; 144; 196 ] else [ 64; 100; 144; 196; 256; 400 ] in
-  let seeds = [ 1; 2; 3 ] in
+  let seeds = Bench_util.seed_list [ 1; 2; 3 ] in
   row "%6s %5s %10s %14s %12s %10s\n" "n" "t" "rounds" "comm bits" "rand bits"
     "msgs";
   let per_n =
@@ -98,7 +98,7 @@ let t1_thm3 ~quick () =
       let per_x =
         sweep ~codec:measure_codec
           ~point:(fun x -> Printf.sprintf "n=%d/x=%d" n x)
-          ~params:xs ~seeds:[ 1; 2; 3 ] (fun x seed ->
+          ~params:xs ~seeds:(Bench_util.seed_list [ 1; 2; 3 ]) (fun x seed ->
             let cfg0 = Sim.Config.make ~n ~t_max:t ~seed:0 () in
             let max_rounds =
               Consensus.Param_omissions.rounds_needed ~x cfg0 + 10
@@ -146,7 +146,7 @@ let t1_bjbo ~quick () =
           "dune exec bin/consensus_sim.exe -- run -p bjbo -n %d -t %d \
            --seed %d -a splitter"
           n (n / 4) seed)
-      ~params:ns ~seeds:[ 1; 2; 3; 4; 5 ]
+      ~params:ns ~seeds:(Bench_util.seed_list [ 1; 2; 3; 4; 5 ])
       (fun n seed ->
         let t = n / 4 in
         let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:5000 () in
@@ -324,7 +324,7 @@ let t1_thm2 ~quick () =
       subsection (Printf.sprintf "n = %d, t = %d" n t);
       row "%8s %8s %10s %14s %14s %7s\n" "k" "T" "R" "T x (R+T)"
         "t^2/log2 n" "ratio";
-      let seeds = [ 1; 2; 3; 4; 5 ] in
+      let seeds = Bench_util.seed_list [ 1; 2; 3; 4; 5 ] in
       let per_k =
         sweep ~codec:product_codec
           ~point:(fun k -> Printf.sprintf "n=%d/k=%d" n k)

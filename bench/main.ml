@@ -19,6 +19,13 @@
      dune exec bench/main.exe -- --wall-budget 30 --rand-budget 1000000
                                               # per-task watchdog ceilings;
                                               # breaches are quarantined
+     dune exec bench/main.exe -- --trace      # per-round trace metrics into
+                                              # the JSON sink
+     dune exec bench/main.exe -- --trace-dir traces --trace-format binary
+                                              # full per-run event traces
+     dune exec bench/main.exe -- --trace-tail 5  # quarantine records embed
+                                              # the last 5 rounds of events
+     dune exec bench/main.exe -- --seeds 8    # seeds 1..8 at every point
 
    A sweep task that crashes, times out, or breaches a budget is quarantined
    (a JSON record with a replay command, kind="quarantine"), the sweep keeps
@@ -48,6 +55,7 @@ let () =
   let micro = ref None in
   let only = ref [] in
   let jobs = ref 0 in
+  let seeds = ref 0 in
   let json = ref "BENCH_consensus.json" in
   let resume = ref false in
   let stable = ref false in
@@ -55,6 +63,10 @@ let () =
   let round_budget = ref 0 in
   let msg_budget = ref 0 in
   let rand_budget = ref 0 in
+  let trace = ref false in
+  let trace_dir = ref "" in
+  let trace_format = ref "jsonl" in
+  let trace_tail = ref 0 in
   let spec =
     [
       ("--quick", Arg.Set quick, "smaller sweeps");
@@ -71,6 +83,11 @@ let () =
         Arg.Set_int jobs,
         "N  domains in the executor pool (default: recommended count; 1 = \
          serial)" );
+      ("-j", Arg.Set_int jobs, "N  alias for --jobs");
+      ( "--seeds",
+        Arg.Set_int seeds,
+        "N  run every sweep point on seeds 1..N instead of each \
+         experiment's default seed list (0 = defaults)" );
       ( "--json",
         Arg.Set_string json,
         "FILE  JSON-lines results sink (default BENCH_consensus.json; \
@@ -96,16 +113,46 @@ let () =
       ( "--rand-budget",
         Arg.Set_int rand_budget,
         "N  random-bit ceiling per sweep task (0 = unlimited)" );
+      ( "--trace",
+        Arg.Set trace,
+        "collect per-round trace metrics for every run and tee them into \
+         the JSON sink as kind=\"trace-metrics\" records" );
+      ( "--trace-dir",
+        Arg.Set_string trace_dir,
+        "DIR  write each run's full event trace to a file in DIR (created \
+         if missing)" );
+      ( "--trace-format",
+        Arg.Set_string trace_format,
+        "jsonl|binary  trace file encoding (default jsonl)" );
+      ( "--trace-tail",
+        Arg.Set_int trace_tail,
+        "K  keep the last K rounds of events per run; quarantine records \
+         then embed the tail (0 = off)" );
     ]
   in
   Arg.parse spec
     (fun _ -> ())
-    "bench/main.exe [--quick] [--only ids] [--micro] [--jobs N] [--json FILE]\n\
-    \                [--resume] [--stable-json] [--wall-budget S] \
-     [--round-budget N]\n\
-    \                [--msg-budget N] [--rand-budget N]";
+    "bench/main.exe [--quick] [--only ids] [--micro] [--jobs N] [--seeds N]\n\
+    \                [--json FILE] [--resume] [--stable-json] \
+     [--wall-budget S]\n\
+    \                [--round-budget N] [--msg-budget N] [--rand-budget N]\n\
+    \                [--trace] [--trace-dir DIR] [--trace-format F] \
+     [--trace-tail K]";
   Exec.set_default_jobs !jobs;
   Bench_util.Out.set_stable !stable;
+  Bench_util.seeds_override := (if !seeds <= 0 then None else Some !seeds);
+  Bench_util.trace_metrics := !trace;
+  Bench_util.trace_tail_rounds := max 0 !trace_tail;
+  (match Trace.format_of_string !trace_format with
+  | Some f -> Bench_util.trace_format := f
+  | None ->
+      Printf.eprintf "--trace-format must be jsonl or binary, not %S\n"
+        !trace_format;
+      exit 2);
+  if !trace_dir <> "" then begin
+    if not (Sys.file_exists !trace_dir) then Sys.mkdir !trace_dir 0o755;
+    Bench_util.trace_dir := Some !trace_dir
+  end;
   if !resume && !json = "" then begin
     Printf.eprintf "--resume needs a --json path (the journal lives beside it)\n";
     exit 2

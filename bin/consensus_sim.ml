@@ -1,18 +1,13 @@
-(** Command-line driver: run any protocol against any adversary and print
-    the three complexity metrics, or inspect a Theorem-4 communication
-    graph. *)
+(** Command-line driver: run any registered protocol against any adversary
+    and print the three complexity metrics, inspect a Theorem-4
+    communication graph, fuzz the protocol registry, replay counterexample
+    scenarios, or compare trace files.
+
+    Flag spellings are shared with bench/main.exe: --jobs, --seeds, --json,
+    --wall-budget/--round-budget/--msg-budget/--rand-budget, --trace,
+    --trace-dir, --trace-format, --trace-tail. *)
 
 open Cmdliner
-
-let protocol_conv =
-  Arg.enum
-    [ ("optimal", `Optimal);
-      ("param", `Param);
-      ("bjbo", `Bjbo);
-      ("flood", `Flood);
-      ("dolev-strong", `Dolev_strong);
-      ("crash-sub", `Crash_sub);
-    ]
 
 let adversary_conv =
   Arg.enum
@@ -48,45 +43,148 @@ let make_adversary kind =
   | `Staggered -> Adversary.staggered_crash ~per_round:3
   | `Eclipse -> Adversary.eclipse ~victim:0
 
-let run_cmd protocol n t x seed adversary inputs_kind =
-  let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
-  let proto, max_rounds =
-    match protocol with
-    | `Optimal ->
-        ( Consensus.Optimal_omissions.protocol cfg0,
-          Consensus.Optimal_omissions.rounds_needed cfg0 )
-    | `Param ->
-        ( Consensus.Param_omissions.protocol ~x cfg0,
-          Consensus.Param_omissions.rounds_needed ~x cfg0 )
-    | `Bjbo -> (Consensus.Bjbo.protocol cfg0, 60 * (t + 10))
-    | `Flood -> (Consensus.Flood.protocol cfg0, t + 10)
-    | `Dolev_strong -> (Consensus.Dolev_strong.protocol cfg0, t + 10)
-    | `Crash_sub ->
-        ( Consensus.Crash_subquadratic.protocol cfg0,
-          Consensus.Crash_subquadratic.rounds_needed cfg0 )
-  in
-  let cfg = { cfg0 with Sim.Config.max_rounds } in
-  let inputs = make_inputs inputs_kind n seed in
-  let o = Sim.Engine.run proto cfg ~adversary:(make_adversary adversary) ~inputs in
-  Fmt.pr "protocol           : %s@."
-    (let module P = (val proto : Sim.Protocol_intf.S) in
-     P.name);
-  Fmt.pr "n / t / seed       : %d / %d / %d@." n t seed;
-  Fmt.pr "adversary          : %s (faults used %d)@."
-    (make_adversary adversary).Sim.Adversary_intf.name o.Sim.Engine.faults_used;
-  Fmt.pr "rounds (T)         : %d%s@." o.rounds_total
-    (match o.decided_round with
-    | Some r -> Printf.sprintf " (all non-faulty decided by round %d)" r
-    | None -> " (DID NOT TERMINATE within max_rounds)");
-  Fmt.pr "messages / bits    : %d / %d@." o.messages_sent o.bits_sent;
-  Fmt.pr "rand calls / bits  : %d / %d@." o.rand_calls o.rand_bits;
-  Fmt.pr "omitted messages   : %d@." o.messages_omitted;
-  (match Sim.Engine.agreed_decision o with
-  | Some v -> Fmt.pr "decision           : %d (agreement holds)@." v
+(* Protocols are resolved through the registry — one BUILDER per protocol.
+   "param" is the one extra spelling: ParamOmissions instantiated at the
+   -x given on the command line rather than the registry's x=2 entry. *)
+let resolve_builder id ~x =
+  if id = "param" then Consensus.Param_omissions.builder ~x ()
+  else
+    match Harness.Registry.find id with
+    | Some e -> e.Harness.Registry.builder
+    | None ->
+        Fmt.epr "unknown protocol %S; registered: %s (plus \"param\", which \
+                 takes -x)@."
+          id
+          (String.concat ", " (Harness.Registry.ids ()));
+        exit 2
+
+let format_or_die s =
+  match Trace.format_of_string s with
+  | Some f -> f
   | None ->
-      Fmt.pr "decision           : DISAGREEMENT OR MISSING DECISIONS@.";
-      exit 1);
-  ()
+      Fmt.epr "--trace-format must be jsonl or binary, not %S@." s;
+      exit 2
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+type budget_flags = { wall : float; rounds : int; msgs : int; rand : int }
+
+let budget_of_flags b =
+  let posf v = if v <= 0. then None else Some v in
+  let posi v = if v <= 0 then None else Some v in
+  {
+    Supervise.Budget.wall_s = posf b.wall;
+    max_rounds = posi b.rounds;
+    max_messages = posi b.msgs;
+    max_rand_bits = posi b.rand;
+  }
+
+let print_tail lines =
+  if lines <> [] then begin
+    Fmt.pr "trace tail (last rounds):@.";
+    List.iter (fun l -> Fmt.pr "  %s@." l) lines
+  end
+
+let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
+    trace_dir trace_format trace_tail =
+  let builder = resolve_builder protocol ~x in
+  let module B = (val builder : Sim.Protocol_intf.BUILDER) in
+  let format = format_or_die trace_format in
+  Option.iter ensure_dir trace_dir;
+  let budget = budget_of_flags bflags in
+  let failures = ref 0 in
+  let run_one ~seed ~verbose =
+    let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
+    let cfg = { cfg0 with Sim.Config.max_rounds = B.rounds_needed cfg0 } in
+    let proto = B.build cfg in
+    let inputs = make_inputs inputs_kind n seed in
+    let tail =
+      if trace_tail > 0 then Some (Trace.Tail.create ~rounds:trace_tail ())
+      else None
+    in
+    let collector = if trace then Some (Trace.Metrics.collector ()) else None in
+    let file_sink =
+      Option.map
+        (fun dir ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "run.%s.seed%d.trace.%s" B.name seed
+                 (Trace.format_extension format))
+          in
+          (path, Trace.Sink.file ~path ~format))
+        trace_dir
+    in
+    let sinks =
+      List.filter_map Fun.id
+        [
+          Option.map Trace.Tail.sink tail;
+          Option.map fst collector;
+          Option.map snd file_sink;
+        ]
+    in
+    let tsink =
+      match sinks with [] -> None | l -> Some (Trace.Sink.tee_all l)
+    in
+    let result =
+      Supervise.run ?trace:tsink ~budget proto cfg
+        ~adversary:(make_adversary adversary) ~inputs
+    in
+    Option.iter (fun (path, s) -> Trace.Sink.close s;
+        if verbose then Fmt.pr "trace written      : %s@." path)
+      file_sink;
+    match result with
+    | Error (kind, _) ->
+        incr failures;
+        Fmt.pr "seed %-4d: SUPERVISION FAILURE — %a@." seed
+          Supervise.pp_failure_kind kind;
+        Option.iter (fun tl -> print_tail (Trace.Tail.lines tl)) tail
+    | Ok o ->
+        let agreement = Sim.Engine.agreed_decision o in
+        if verbose then begin
+          Fmt.pr "protocol           : %s@."
+            (let module P = (val proto : Sim.Protocol_intf.S) in
+             P.name);
+          Fmt.pr "n / t / seed       : %d / %d / %d@." n t seed;
+          Fmt.pr "adversary          : %s (faults used %d)@."
+            (make_adversary adversary).Sim.Adversary_intf.name
+            o.Sim.Engine.faults_used;
+          Fmt.pr "rounds (T)         : %d%s@." o.rounds_total
+            (match o.decided_round with
+            | Some r ->
+                Printf.sprintf " (all non-faulty decided by round %d)" r
+            | None -> " (DID NOT TERMINATE within max_rounds)");
+          Fmt.pr "messages / bits    : %d / %d@." o.messages_sent o.bits_sent;
+          Fmt.pr "rand calls / bits  : %d / %d@." o.rand_calls o.rand_bits;
+          Fmt.pr "omitted messages   : %d@." o.messages_omitted
+        end
+        else
+          Fmt.pr "seed %-4d: rounds=%-5d msgs=%-8d bits=%-9d rand_bits=%-7d %s@."
+            seed o.Sim.Engine.rounds_total o.messages_sent o.bits_sent
+            o.rand_bits
+            (match agreement with
+            | Some v -> Printf.sprintf "decision=%d" v
+            | None -> "NO AGREEMENT");
+        Option.iter
+          (fun (_, summary) ->
+            Fmt.pr "%a@." Trace.Metrics.pp_summary (summary ()))
+          collector;
+        (match agreement with
+        | Some v -> if verbose then Fmt.pr "decision           : %d (agreement holds)@." v
+        | None ->
+            if verbose then
+              Fmt.pr "decision           : DISAGREEMENT OR MISSING DECISIONS@.";
+            Option.iter (fun tl -> print_tail (Trace.Tail.lines tl)) tail;
+            incr failures)
+  in
+  (match seeds with
+  | None -> run_one ~seed ~verbose:true
+  | Some k ->
+      Fmt.pr "protocol %s, n=%d t=%d, seeds 1..%d@." B.name n t k;
+      for s = 1 to k do
+        run_one ~seed:s ~verbose:false
+      done);
+  if !failures > 0 then exit 1
 
 let graph_cmd n delta_c seed =
   let delta = Expander.default_delta ~c:delta_c n in
@@ -125,15 +223,72 @@ let fuzz_protocols spec =
             (String.concat ", " (Harness.Registry.ids ()));
           exit 2)
 
-let fuzz_cmd count seed max_n protocol smoke jobs journal_path resume =
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Re-run the shrunk counterexample's violating protocol with trace sinks:
+   the full trace goes to a file, the tail is returned for the console and
+   the JSON failure record. Deterministic — the scenario is a pure function
+   of its seed, so this is the run the fuzzer saw. *)
+let dump_failure_trace ~protocols ~dir ~format ~tail_rounds
+    (f : Harness.Fuzz.failure) =
+  let id = f.Harness.Fuzz.violation.Harness.Runner.protocol in
+  match
+    List.find_opt (fun e -> e.Harness.Registry.id = id) protocols
+  with
+  | None -> (None, [])
+  | Some entry ->
+      let tail = Trace.Tail.create ~rounds:tail_rounds () in
+      let mem, events = Trace.Sink.memory () in
+      let sink = Trace.Sink.tee (Trace.Tail.sink tail) mem in
+      ignore (Harness.Runner.run_entry ~trace:sink entry f.Harness.Fuzz.shrunk);
+      ensure_dir dir;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "fuzz-counterexample.%s.trace.%s" entry.id
+             (Trace.format_extension format))
+      in
+      Trace.File.write ~path ~format (events ());
+      (Some path, Trace.Tail.lines tail)
+
+let fuzz_cmd count seed max_n protocol smoke jobs json journal_path resume
+    trace_dir trace_format trace_tail =
   let protocols = fuzz_protocols protocol in
   let count = if smoke then max count 1_000_000 else count in
   let time_budget = if smoke then Some 25.0 else None in
   let jobs = if jobs <= 0 then Exec.default_jobs () else jobs in
+  let format = format_or_die trace_format in
+  (* --json FILE: machine-readable result records in FILE, checkpoint
+     journal beside it (FILE.journal) — same layout as bench/main.exe.
+     --journal FILE (deprecated) is the bare checkpoint file. *)
+  let journal_path =
+    match (json, journal_path) with
+    | Some j, _ -> Some (j ^ ".journal")
+    | None, p -> p
+  in
   if resume && journal_path = None then begin
-    Fmt.epr "fuzz: --resume needs --journal FILE@.";
+    Fmt.epr "fuzz: --resume needs --json FILE (or the deprecated --journal)@.";
     exit 2
   end;
+  let json_ch = Option.map (fun path -> open_out path) json in
+  let emit_json fields =
+    match json_ch with
+    | None -> ()
+    | Some ch ->
+        output_string ch ("{" ^ String.concat "," fields ^ "}\n");
+        flush ch
+  in
   let journal =
     Option.map
       (fun path ->
@@ -159,10 +314,54 @@ let fuzz_cmd count seed max_n protocol smoke jobs journal_path resume =
         "fuzz: OK — %d scenarios, %d protocol runs (%d conformance-checked), \
          %d determinism checks, 0 violations@."
         stats.Harness.Fuzz.scenarios stats.runs stats.checked
-        stats.determinism_checks
+        stats.determinism_checks;
+      emit_json
+        [
+          "\"kind\":\"fuzz-ok\"";
+          Printf.sprintf "\"schema_version\":%d" 2;
+          Printf.sprintf "\"scenarios\":%d" stats.Harness.Fuzz.scenarios;
+          Printf.sprintf "\"runs\":%d" stats.runs;
+          Printf.sprintf "\"checked\":%d" stats.checked;
+          Printf.sprintf "\"determinism_checks\":%d" stats.determinism_checks;
+        ];
+      Option.iter close_out json_ch
   | Error (f, stats) ->
       Fmt.pr "fuzz: FAILED after %d scenarios@." stats.Harness.Fuzz.scenarios;
       Fmt.pr "%a" Harness.Fuzz.pp_failure f;
+      (* quarantine the counterexample with its trace: full trace file +
+         last-K-rounds tail on the console and in the JSON record *)
+      let path, tail =
+        dump_failure_trace ~protocols ~dir:trace_dir ~format
+          ~tail_rounds:(max 1 trace_tail) f
+      in
+      Option.iter (fun p -> Fmt.pr "fuzz: counterexample trace in %s@." p) path;
+      print_tail tail;
+      emit_json
+        ([
+           "\"kind\":\"quarantine\"";
+           Printf.sprintf "\"schema_version\":%d" 2;
+           Printf.sprintf "\"label\":\"fuzz-counterexample/%s\""
+             (json_escape f.Harness.Fuzz.violation.Harness.Runner.protocol);
+           Printf.sprintf "\"property\":\"%s\""
+             (json_escape f.Harness.Fuzz.violation.Harness.Runner.property);
+           Printf.sprintf "\"detail\":\"%s\""
+             (json_escape f.Harness.Fuzz.violation.Harness.Runner.detail);
+           Printf.sprintf "\"original\":\"%s\""
+             (json_escape (Harness.Scenario.to_string f.Harness.Fuzz.original));
+           Printf.sprintf "\"shrunk\":\"%s\""
+             (json_escape (Harness.Scenario.to_string f.Harness.Fuzz.shrunk));
+           Printf.sprintf "\"shrink_steps\":%d" f.Harness.Fuzz.shrink_steps;
+           Printf.sprintf "\"replay\":\"%s\""
+             (json_escape (Harness.Fuzz.replay_command f.Harness.Fuzz.shrunk));
+         ]
+        @ (match path with
+          | Some p -> [ Printf.sprintf "\"trace_file\":\"%s\"" (json_escape p) ]
+          | None -> [])
+        @
+        match tail with
+        | [] -> []
+        | lines -> [ "\"trace\":[" ^ String.concat "," lines ^ "]" ]);
+      Option.iter close_out json_ch;
       exit 1
 
 let replay_cmd scenario protocol all =
@@ -179,6 +378,36 @@ let replay_cmd scenario protocol all =
   Fmt.pr "%a" Harness.Runner.pp_report report;
   if not (Harness.Runner.report_ok report) then exit 1
 
+(* --- trace diff / show --- *)
+
+let read_trace_or_die path =
+  match Trace.File.read path with
+  | events -> events
+  | exception Trace.File.Corrupt m ->
+      Fmt.epr "%s: corrupt trace: %s@." path m;
+      exit 2
+  | exception Sys_error m ->
+      Fmt.epr "%s@." m;
+      exit 2
+
+let trace_diff_cmd left right =
+  let l = read_trace_or_die left and r = read_trace_or_die right in
+  match Trace.Diff.events l r with
+  | Trace.Diff.Identical n ->
+      Fmt.pr "identical: %d events@." n
+  | Trace.Diff.Diverged _ as d ->
+      Fmt.pr "%a@." Trace.Diff.pp_outcome d;
+      exit 1
+
+let trace_show_cmd path metrics =
+  let events = read_trace_or_die path in
+  if metrics then
+    Fmt.pr "%a@." Trace.Metrics.pp_summary (Trace.Metrics.of_events events)
+  else
+    List.iter (fun e -> print_endline (Trace.Event.to_json e)) events
+
+(* --- terms --- *)
+
 let n_arg =
   Arg.(value & opt int 128 & info [ "n" ] ~doc:"Number of processes.")
 
@@ -193,15 +422,75 @@ let x_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let seeds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seeds" ]
+        ~doc:"Run seeds 1..$(docv) and print one summary line each.")
+
 let delta_c_arg =
   Arg.(value & opt int 8 & info [ "delta-c" ] ~doc:"Degree constant.")
+
+let budget_term =
+  let wall =
+    Arg.(
+      value & opt float 0.
+      & info [ "wall-budget" ]
+          ~doc:"Wall-clock watchdog per run, seconds (0 = unlimited).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 0
+      & info [ "round-budget" ]
+          ~doc:"Engine-round ceiling per run (0 = unlimited).")
+  in
+  let msgs =
+    Arg.(
+      value & opt int 0
+      & info [ "msg-budget" ] ~doc:"Message ceiling per run (0 = unlimited).")
+  in
+  let rand =
+    Arg.(
+      value & opt int 0
+      & info [ "rand-budget" ]
+          ~doc:"Random-bit ceiling per run (0 = unlimited).")
+  in
+  Term.(
+    const (fun wall rounds msgs rand -> { wall; rounds; msgs; rand })
+    $ wall $ rounds $ msgs $ rand)
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Collect per-round trace metrics and print the summary.")
+
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ]
+        ~doc:"Write full event traces to files in $(docv) (created if \
+              missing).")
+
+let trace_format_arg =
+  Arg.(
+    value & opt string "jsonl"
+    & info [ "trace-format" ]
+        ~doc:"Trace file encoding: jsonl or binary.")
+
+let trace_tail_arg ~doc = Arg.(value & opt int 0 & info [ "trace-tail" ] ~doc)
 
 let run_term =
   let protocol =
     Arg.(
-      value
-      & opt protocol_conv `Optimal
-      & info [ "protocol"; "p" ] ~doc:"Protocol: optimal, param, bjbo, flood, dolev-strong, crash-sub.")
+      value & opt string "optimal"
+      & info [ "protocol"; "p" ]
+          ~doc:
+            "Protocol (a registry id, or \"param\" which takes -x). \
+             Registered: optimal, param-x2, bjbo, flood, early-stopping, \
+             dolev-strong, phase-king, crash-sub, operative-broadcast.")
   in
   let adversary =
     Arg.(
@@ -217,10 +506,17 @@ let run_term =
       & info [ "inputs"; "i" ] ~doc:"Inputs: mixed, ones, zeros, random.")
   in
   Term.(
-    const (fun protocol n t x seed adversary inputs ->
+    const (fun protocol n t x seed seeds adversary inputs bflags trace
+               trace_dir trace_format trace_tail ->
         let t = match t with Some t -> t | None -> max 1 (n / 31) in
-        run_cmd protocol n t x seed adversary inputs)
-    $ protocol $ n_arg $ t_arg $ x_arg $ seed_arg $ adversary $ inputs)
+        run_cmd protocol n t x seed seeds adversary inputs bflags trace
+          trace_dir trace_format trace_tail)
+    $ protocol $ n_arg $ t_arg $ x_arg $ seed_arg $ seeds_arg $ adversary
+    $ inputs $ budget_term $ trace_flag $ trace_dir_arg $ trace_format_arg
+    $ trace_tail_arg
+        ~doc:
+          "Keep the last $(docv) rounds of events; printed when a run fails \
+           or disagrees (0 = off).")
 
 let graph_term =
   Term.(const graph_cmd $ n_arg $ delta_c_arg $ seed_arg)
@@ -257,28 +553,48 @@ let fuzz_term =
             "Domains in the executor pool (default: recommended count; 1 = \
              serial; results are identical at any width).")
   in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ]
+          ~doc:
+            "JSON-lines result sink: the final stats (kind=\"fuzz-ok\") or \
+             the shrunk counterexample with its trace tail \
+             (kind=\"quarantine\") land in $(docv); the checkpoint journal \
+             behind $(b,--resume) lives beside it at $(docv).journal.")
+  in
   let journal =
     Arg.(
       value
       & opt (some string) None
       & info [ "journal" ]
-          ~doc:
-            "Checkpoint file: each clean scenario is journaled as it \
-             completes, so an interrupted soak can be resumed with \
-             $(b,--resume).")
+          ~deprecated:"use --json FILE (journal lives at FILE.journal)"
+          ~doc:"Checkpoint file (deprecated spelling of the --json journal).")
   in
   let resume =
     Arg.(
       value & flag
       & info [ "resume" ]
           ~doc:
-            "Skip scenarios already journaled in --journal FILE by a \
-             previous (interrupted) soak with the same seed; final stats \
-             are identical to an uninterrupted run.")
+            "Skip scenarios already journaled by a previous (interrupted) \
+             soak with the same seed; final stats are identical to an \
+             uninterrupted run.")
   in
   Term.(
-    const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke $ jobs
-    $ journal $ resume)
+    const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke $ jobs $ json
+    $ journal $ resume
+    $ Arg.(
+        value & opt string "."
+        & info [ "trace-dir" ]
+            ~doc:
+              "Directory for the counterexample trace dumped on failure \
+               (created if missing).")
+    $ trace_format_arg
+    $ trace_tail_arg
+        ~doc:
+          "Rounds of events to keep in the failure record's trace tail \
+           (default 5).")
 
 let replay_term =
   let scenario =
@@ -304,6 +620,50 @@ let replay_term =
   in
   Term.(const replay_cmd $ scenario $ protocol $ all)
 
+let trace_cmd =
+  let left =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LEFT" ~doc:"First trace file (jsonl or binary).")
+  in
+  let right =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"RIGHT" ~doc:"Second trace file (jsonl or binary).")
+  in
+  let diff =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two trace files and report the first diverging event \
+            (exit 1 on divergence) — the debuggable form of the \
+            bit-identical determinism claims.")
+      Term.(const trace_diff_cmd $ left $ right)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (jsonl or binary).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the per-round metrics summary instead of the events.")
+  in
+  let show =
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:"Print a trace file as JSONL events (decodes binary traces).")
+      Term.(const trace_show_cmd $ file $ metrics)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect and compare event trace files")
+    [ diff; show ]
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a consensus protocol in the simulator")
@@ -320,6 +680,7 @@ let cmds =
       (Cmd.info "replay"
          ~doc:"Replay a fuzz scenario and print the conformance report")
       replay_term;
+    trace_cmd;
   ]
 
 let () =

@@ -122,3 +122,10 @@ let protocol ?(coin_set_size = max_int) ?(theta_factor = 0.5) (cfg : Sim.Config.
   end in
   ignore cfg;
   (module M)
+
+let builder ?coin_set_size ?theta_factor () : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "bjbo"
+    let build cfg = protocol ?coin_set_size ?theta_factor cfg
+    let rounds_needed (cfg : Sim.Config.t) = 60 * (cfg.t_max + 10)
+  end)

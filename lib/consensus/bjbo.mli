@@ -16,3 +16,8 @@ val protocol :
   ?theta_factor:float ->
   Sim.Config.t ->
   Sim.Protocol_intf.t
+
+val builder :
+  ?coin_set_size:int -> ?theta_factor:float -> unit -> Sim.Protocol_intf.builder
+(** Registry constructor: id ["bjbo"]; schedule bound [60 (t_max + 10)]
+    (whp termination is much earlier). *)

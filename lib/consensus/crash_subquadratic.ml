@@ -250,3 +250,10 @@ let rounds_needed ?(params = Params.default) (cfg : Sim.Config.t) =
   + (4 * Params.log2_ceil cfg.Sim.Config.n)
   + Phase_king.rounds ~t_max:cfg.Sim.Config.t_max
   + 8
+
+let builder ?params () : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "crash-sub"
+    let build cfg = protocol ?params cfg
+    let rounds_needed cfg = rounds_needed ?params cfg + 10
+  end)

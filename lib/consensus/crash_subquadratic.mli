@@ -11,3 +11,7 @@ type msg
 val protocol : ?params:Params.t -> Sim.Config.t -> Sim.Protocol_intf.t
 
 val rounds_needed : ?params:Params.t -> Sim.Config.t -> int
+
+val builder : ?params:Params.t -> unit -> Sim.Protocol_intf.builder
+(** Registry constructor: id ["crash-sub"]; schedule bound
+    [rounds_needed + 10]. *)

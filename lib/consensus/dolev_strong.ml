@@ -119,3 +119,10 @@ let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
     let msg_hint (Relay { value; _ }) = Some value
   end in
   (module M)
+
+let builder : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "dolev-strong"
+    let build = protocol
+    let rounds_needed (cfg : Sim.Config.t) = cfg.t_max + 3
+  end)

@@ -8,3 +8,6 @@ type state
 type msg
 
 val protocol : Sim.Config.t -> Sim.Protocol_intf.t
+
+val builder : Sim.Protocol_intf.builder
+(** Registry constructor: id ["dolev-strong"]; schedule bound [t_max + 3]. *)

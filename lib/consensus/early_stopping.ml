@@ -97,3 +97,10 @@ let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
     let msg_hint (Val { v; _ }) = Some v
   end in
   (module M)
+
+let builder : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "early-stopping"
+    let build = protocol
+    let rounds_needed (cfg : Sim.Config.t) = cfg.t_max + 5
+  end)

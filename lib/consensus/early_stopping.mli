@@ -8,3 +8,7 @@ type state
 type msg
 
 val protocol : Sim.Config.t -> Sim.Protocol_intf.t
+
+val builder : Sim.Protocol_intf.builder
+(** Registry constructor: id ["early-stopping"]; schedule bound
+    [t_max + 5]. *)

@@ -81,3 +81,10 @@ let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
     let msg_hint (Values { zero; _ }) = Some (if zero then 0 else 1)
   end in
   (module M)
+
+let builder : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "flood"
+    let build = protocol
+    let rounds_needed (cfg : Sim.Config.t) = cfg.t_max + 3
+  end)

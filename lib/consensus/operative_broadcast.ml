@@ -120,3 +120,10 @@ let protocol ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) :
     let msg_hint = function Gossip v -> Some v | Heartbeat -> None
   end in
   (module M)
+
+let builder ?params ?(source = 0) () : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "operative-broadcast"
+    let build cfg = protocol ?params ~source cfg
+    let rounds_needed (cfg : Sim.Config.t) = (2 * Params.log2_ceil cfg.n) + 3
+  end)

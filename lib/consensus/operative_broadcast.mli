@@ -11,3 +11,7 @@ type msg
 
 val protocol :
   ?params:Params.t -> ?source:int -> Sim.Config.t -> Sim.Protocol_intf.t
+
+val builder : ?params:Params.t -> ?source:int -> unit -> Sim.Protocol_intf.builder
+(** Registry constructor: id ["operative-broadcast"] (default source 0);
+    schedule bound [2 log2_ceil n + 3]. *)

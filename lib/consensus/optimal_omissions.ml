@@ -153,3 +153,10 @@ let rounds_needed ?(params = Params.default) (cfg : Sim.Config.t) =
       ~t_max:cfg.Sim.Config.t_max ()
   in
   Core.rounds shared + Phase_king.rounds ~t_max:cfg.Sim.Config.t_max + 4
+
+let builder ?params () : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "optimal"
+    let build cfg = protocol ?params cfg
+    let rounds_needed cfg = rounds_needed ?params cfg + 10
+  end)

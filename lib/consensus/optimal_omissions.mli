@@ -23,3 +23,7 @@ val protocol :
 val rounds_needed : ?params:Params.t -> Sim.Config.t -> int
 (** Upper bound on the schedule length (voting + fallback), for sizing
     [Config.max_rounds]. *)
+
+val builder : ?params:Params.t -> unit -> Sim.Protocol_intf.builder
+(** Registry constructor: id ["optimal"]; schedule bound
+    [rounds_needed + 10]. *)

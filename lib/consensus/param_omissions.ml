@@ -363,3 +363,10 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
 let rounds_needed ?(params = Params.default) ~x (cfg : Sim.Config.t) =
   let p = make_plan ~params cfg ~x in
   p.safety_start + 2 + p.pk_rounds + 4
+
+let builder ?params ~x () : Sim.Protocol_intf.builder =
+  (module struct
+    let name = Printf.sprintf "param-x%d" x
+    let build cfg = protocol ?params ~x cfg
+    let rounds_needed cfg = rounds_needed ?params ~x cfg + 10
+  end)

@@ -16,3 +16,7 @@ val protocol : ?params:Params.t -> x:int -> Sim.Config.t -> Sim.Protocol_intf.t
 
 val rounds_needed : ?params:Params.t -> x:int -> Sim.Config.t -> int
 (** Total schedule length, for sizing [Config.max_rounds]. *)
+
+val builder : ?params:Params.t -> x:int -> unit -> Sim.Protocol_intf.builder
+(** Registry constructor: id ["param-x<x>"]; schedule bound
+    [rounds_needed + 10]. *)

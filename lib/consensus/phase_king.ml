@@ -162,3 +162,10 @@ let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
     let msg_bits = msg_bits
     let msg_hint = function Value v -> Some v | King v -> Some v
   end)
+
+let builder : Sim.Protocol_intf.builder =
+  (module struct
+    let name = "phase-king"
+    let build = protocol
+    let rounds_needed cfg = rounds_needed cfg + 1
+  end)

@@ -44,3 +44,7 @@ val protocol : Sim.Config.t -> Sim.Protocol_intf.t
 
 val rounds_needed : Sim.Config.t -> int
 (** Engine rounds the standalone protocol needs: [rounds ~t_max + 1]. *)
+
+val builder : Sim.Protocol_intf.builder
+(** Registry constructor: id ["phase-king"]; schedule bound
+    [rounds_needed + 1]. *)

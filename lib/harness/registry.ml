@@ -1,9 +1,9 @@
 (** First-class-module registry of every {!Sim.Protocol_intf.S}
     implementation in [lib/consensus], with the metadata the differential
     conformance runner needs: which fault model the protocol is specified
-    against, the largest budget it tolerates, a schedule bound for sizing
-    [max_rounds], and the conformance kind (consensus vs. source
-    broadcast). *)
+    against, the largest budget it tolerates, and the conformance kind
+    (consensus vs. source broadcast). Construction and schedule sizing go
+    through each protocol's {!Sim.Protocol_intf.BUILDER}. *)
 
 type model = Crash | Omission
 
@@ -15,108 +15,64 @@ type kind =
           only guaranteed while the source stays operative *)
 
 type entry = {
-  id : string;
+  id : string;  (** the builder's [name] *)
   model : model;
   kind : kind;
   max_t : int -> int;  (** n -> largest tolerated fault budget *)
   min_n : int;  (** smallest supported system size *)
-  build : Sim.Config.t -> Sim.Protocol_intf.t;
-  rounds_bound : Sim.Config.t -> int;
-      (** schedule length to use as [max_rounds]; termination is expected
-          within it *)
+  builder : Sim.Protocol_intf.builder;
 }
 
 let pp_model ppf m =
   Fmt.string ppf (match m with Crash -> "crash" | Omission -> "omission")
 
+let make ~model ~kind ~max_t ~min_n builder =
+  let module B = (val builder : Sim.Protocol_intf.BUILDER) in
+  { id = B.name; model; kind; max_t; min_n; builder }
+
+let build e cfg =
+  let module B = (val e.builder : Sim.Protocol_intf.BUILDER) in
+  B.build cfg
+
+let rounds_bound e cfg =
+  let module B = (val e.builder : Sim.Protocol_intf.BUILDER) in
+  B.rounds_needed cfg
+
 let all : entry list =
   [
-    {
-      id = "flood";
-      model = Crash;
-      kind = Consensus;
-      max_t = (fun n -> n / 3);
-      min_n = 2;
-      build = (fun cfg -> Consensus.Flood.protocol cfg);
-      rounds_bound = (fun cfg -> cfg.Sim.Config.t_max + 3);
-    };
-    {
-      id = "early-stopping";
-      model = Crash;
-      kind = Consensus;
-      max_t = (fun n -> n / 4);
-      min_n = 2;
-      build = (fun cfg -> Consensus.Early_stopping.protocol cfg);
-      rounds_bound = (fun cfg -> cfg.Sim.Config.t_max + 5);
-    };
-    {
-      id = "bjbo";
-      model = Crash;
-      kind = Consensus;
-      max_t = (fun n -> n / 8);
-      min_n = 2;
-      build = (fun cfg -> Consensus.Bjbo.protocol cfg);
-      rounds_bound = (fun cfg -> 60 * (cfg.Sim.Config.t_max + 10));
-    };
-    {
-      id = "crash-sub";
-      model = Crash;
-      kind = Consensus;
-      max_t = (fun n -> n / 31);
-      min_n = 4;
-      build = (fun cfg -> Consensus.Crash_subquadratic.protocol cfg);
-      rounds_bound =
-        (fun cfg -> Consensus.Crash_subquadratic.rounds_needed cfg + 10);
-    };
-    {
-      id = "dolev-strong";
-      model = Omission;
-      kind = Consensus;
-      max_t = (fun n -> n / 4);
-      min_n = 2;
-      build = (fun cfg -> Consensus.Dolev_strong.protocol cfg);
-      rounds_bound = (fun cfg -> cfg.Sim.Config.t_max + 3);
-    };
-    {
-      id = "phase-king";
-      model = Omission;
-      kind = Consensus;
-      max_t = (fun n -> (n - 1) / 6);
-      min_n = 2;
-      build = (fun cfg -> Consensus.Phase_king.protocol cfg);
-      rounds_bound = (fun cfg -> Consensus.Phase_king.rounds_needed cfg + 1);
-    };
-    {
-      id = "optimal";
-      model = Omission;
-      kind = Consensus;
-      max_t = (fun n -> n / 31);
-      min_n = 4;
-      build = (fun cfg -> Consensus.Optimal_omissions.protocol cfg);
-      rounds_bound =
-        (fun cfg -> Consensus.Optimal_omissions.rounds_needed cfg + 10);
-    };
-    {
-      id = "param-x2";
-      model = Omission;
-      kind = Consensus;
-      max_t = (fun n -> n / 61);
-      min_n = 8;
-      build = (fun cfg -> Consensus.Param_omissions.protocol ~x:2 cfg);
-      rounds_bound =
-        (fun cfg -> Consensus.Param_omissions.rounds_needed ~x:2 cfg + 10);
-    };
-    {
-      id = "operative-broadcast";
-      model = Omission;
-      kind = Broadcast { source = 0 };
-      max_t = (fun n -> n / 8);
-      min_n = 4;
-      build = (fun cfg -> Consensus.Operative_broadcast.protocol ~source:0 cfg);
-      rounds_bound =
-        (fun cfg ->
-          (2 * Consensus.Params.log2_ceil cfg.Sim.Config.n) + 3);
-    };
+    make ~model:Crash ~kind:Consensus
+      ~max_t:(fun n -> n / 3)
+      ~min_n:2 Consensus.Flood.builder;
+    make ~model:Crash ~kind:Consensus
+      ~max_t:(fun n -> n / 4)
+      ~min_n:2 Consensus.Early_stopping.builder;
+    make ~model:Crash ~kind:Consensus
+      ~max_t:(fun n -> n / 8)
+      ~min_n:2
+      (Consensus.Bjbo.builder ());
+    make ~model:Crash ~kind:Consensus
+      ~max_t:(fun n -> n / 31)
+      ~min_n:4
+      (Consensus.Crash_subquadratic.builder ());
+    make ~model:Omission ~kind:Consensus
+      ~max_t:(fun n -> n / 4)
+      ~min_n:2 Consensus.Dolev_strong.builder;
+    make ~model:Omission ~kind:Consensus
+      ~max_t:(fun n -> (n - 1) / 6)
+      ~min_n:2 Consensus.Phase_king.builder;
+    make ~model:Omission ~kind:Consensus
+      ~max_t:(fun n -> n / 31)
+      ~min_n:4
+      (Consensus.Optimal_omissions.builder ());
+    make ~model:Omission ~kind:Consensus
+      ~max_t:(fun n -> n / 61)
+      ~min_n:8
+      (Consensus.Param_omissions.builder ~x:2 ());
+    make ~model:Omission
+      ~kind:(Broadcast { source = 0 })
+      ~max_t:(fun n -> n / 8)
+      ~min_n:4
+      (Consensus.Operative_broadcast.builder ~source:0 ());
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,9 +1,10 @@
 (** First-class-module registry of every {!Sim.Protocol_intf.S}
     implementation in [lib/consensus], with the metadata the differential
-    conformance runner needs. To register a new protocol, add an entry to
-    {!all} with its fault model, tolerated budget, schedule bound and
-    conformance kind; the fuzzer, the [fuzz]/[replay] subcommands and the
-    property-based test suite pick it up automatically. *)
+    conformance runner needs. To register a new protocol, export a
+    {!Sim.Protocol_intf.BUILDER} from its module and add
+    [make ~model ~kind ~max_t ~min_n Its.builder] to {!all}; the fuzzer,
+    the [fuzz]/[replay]/[run] subcommands and the property-based test suite
+    pick it up automatically under the builder's [name]. *)
 
 type model = Crash | Omission
 
@@ -15,16 +16,29 @@ type kind =
           only guaranteed while the source stays operative *)
 
 type entry = {
-  id : string;
+  id : string;  (** the builder's [name] — also the CLI spelling *)
   model : model;
   kind : kind;
   max_t : int -> int;  (** n -> largest tolerated fault budget *)
   min_n : int;  (** smallest supported system size *)
-  build : Sim.Config.t -> Sim.Protocol_intf.t;
-  rounds_bound : Sim.Config.t -> int;
-      (** schedule length to use as [max_rounds]; termination is expected
-          within it *)
+  builder : Sim.Protocol_intf.builder;
 }
+
+val make :
+  model:model ->
+  kind:kind ->
+  max_t:(int -> int) ->
+  min_n:int ->
+  Sim.Protocol_intf.builder ->
+  entry
+(** The only way entries are formed: the id is the builder's [name]. *)
+
+val build : entry -> Sim.Config.t -> Sim.Protocol_intf.t
+(** Instantiate the entry's protocol for a configuration. *)
+
+val rounds_bound : entry -> Sim.Config.t -> int
+(** Schedule length to use as [max_rounds]; termination is expected within
+    it. *)
 
 val pp_model : Format.formatter -> model -> unit
 val all : entry list

@@ -34,7 +34,7 @@ let report_ok r = report_violations r = []
 let config_for (entry : Registry.entry) (s : Scenario.t) =
   let t_max = max 0 (min s.Scenario.t_max (entry.max_t s.Scenario.n)) in
   let cfg0 = Sim.Config.make ~n:s.n ~t_max ~seed:s.seed () in
-  { cfg0 with Sim.Config.max_rounds = entry.rounds_bound cfg0 }
+  { cfg0 with Sim.Config.max_rounds = Registry.rounds_bound entry cfg0 }
 
 (* Probe wrapper: records the operative flags of the last observed round
    and whether [source] stayed operative throughout — the conditional the
@@ -164,8 +164,9 @@ let check_broadcast (s : Scenario.t) ~source ~final_operative
 
 (** Run one protocol on a scenario. [checked] in the result says whether
     the consensus/broadcast properties were asserted (the protocol's model
-    covers the strategy) — the metric invariants are always asserted. *)
-let run_entry (entry : Registry.entry) (s : Scenario.t) : run_result =
+    covers the strategy) — the metric invariants are always asserted.
+    [trace], if given, receives the run's engine event stream. *)
+let run_entry ?trace (entry : Registry.entry) (s : Scenario.t) : run_result =
   let checked = Registry.in_model entry s in
   let cfg = config_for entry s in
   let source =
@@ -177,7 +178,8 @@ let run_entry (entry : Registry.entry) (s : Scenario.t) : run_result =
     probed_adversary s.Scenario.strategy ~source
   in
   match
-    Sim.Engine.run (entry.build cfg) cfg ~adversary ~inputs:s.Scenario.inputs
+    Sim.Engine.run ?trace (Registry.build entry cfg) cfg ~adversary
+      ~inputs:s.Scenario.inputs
   with
   | exception e ->
       {

@@ -31,7 +31,10 @@ val config_for : Registry.entry -> Scenario.t -> Sim.Config.t
 (** The configuration the entry runs under: the scenario's budget clamped
     to the entry's tolerance, the entry's schedule bound as [max_rounds]. *)
 
-val run_entry : Registry.entry -> Scenario.t -> run_result
+val run_entry :
+  ?trace:Trace.Sink.t -> Registry.entry -> Scenario.t -> run_result
+(** Run one protocol on a scenario. [trace], if given, receives the run's
+    engine event stream (see {!Sim.Engine.run}). *)
 
 val run :
   ?protocols:Registry.entry list ->

@@ -41,6 +41,22 @@ type progress = {
   p_rand_bits : int;
 }
 
+(* Tracing state, allocated once per run and only when a sink is supplied:
+   the previous observable state of every process (so Phase/Decide events
+   fire on transitions, not every round) and the counter values at the start
+   of the current round (so Round_end carries per-round deltas). *)
+type tracer = {
+  sink : Trace.Sink.t;
+  prev_operative : bool array;
+  prev_candidate : int option array;
+  prev_decided : int option array;
+  mutable r0_messages : int;
+  mutable r0_bits : int;
+  mutable r0_omitted : int;
+  mutable r0_rand_calls : int;
+  mutable r0_rand_bits : int;
+}
+
 let all_nonfaulty_decided outcome =
   let ok = ref true in
   Array.iteri
@@ -69,7 +85,7 @@ let agreed_decision outcome =
     cumulative metric counters; returning [true] ends the run exactly as
     hitting [max_rounds] would — the supervision layer uses it to extend
     the [max_rounds] semantics to message/randomness/wall-clock budgets. *)
-let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
+let run ?on_round ?stop ?trace (module P : Protocol_intf.S) (cfg : Config.t)
     ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
   let n = cfg.n in
   if Array.length inputs <> n then
@@ -93,14 +109,44 @@ let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
   let used_randomness = Array.make n false in
   (* Outboxes of the current round, indexed by sender. *)
   let outboxes : (int * P.msg) list array = Array.make n [] in
+  let tr =
+    match trace with
+    | None -> None
+    | Some sink ->
+        Some
+          {
+            sink;
+            prev_operative =
+              Array.init n (fun pid -> (P.observe states.(pid)).operative);
+            prev_candidate =
+              Array.init n (fun pid -> (P.observe states.(pid)).candidate);
+            prev_decided =
+              Array.init n (fun pid -> (P.observe states.(pid)).decided);
+            r0_messages = 0;
+            r0_bits = 0;
+            r0_omitted = 0;
+            r0_rand_calls = 0;
+            r0_rand_bits = 0;
+          }
+  in
   let round = ref 1 in
   let stop_flag = ref false in
   while (not !stop_flag) && !round <= cfg.max_rounds do
     let r = !round in
     rounds_total := r;
+    (match tr with
+    | None -> ()
+    | Some t ->
+        t.r0_messages <- !messages_sent;
+        t.r0_bits <- !bits_sent;
+        t.r0_omitted <- !messages_omitted;
+        t.r0_rand_calls <- Rand.Counter.calls counter;
+        t.r0_rand_bits <- Rand.Counter.bits counter;
+        Trace.Sink.emit t.sink (Trace.Event.Round_start { round = r }));
     (* Phase 1: local computation. *)
     for pid = 0 to n - 1 do
       let calls_before = Rand.Counter.calls counter in
+      let bits_before = Rand.Counter.bits counter in
       let state', out =
         P.step cfg states.(pid) ~round:r ~inbox:inboxes.(pid)
           ~rand:(Rand.derive root ((r * n) + pid))
@@ -108,7 +154,42 @@ let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
       states.(pid) <- state';
       outboxes.(pid) <- out;
       used_randomness.(pid) <- Rand.Counter.calls counter > calls_before;
-      inboxes.(pid) <- []
+      inboxes.(pid) <- [];
+      match tr with
+      | None -> ()
+      | Some t ->
+          let calls_after = Rand.Counter.calls counter in
+          if calls_after > calls_before then
+            Trace.Sink.emit t.sink
+              (Trace.Event.Coin
+                 {
+                   round = r;
+                   pid;
+                   calls = calls_after - calls_before;
+                   bits = Rand.Counter.bits counter - bits_before;
+                 });
+          let obs = P.observe states.(pid) in
+          if
+            obs.operative <> t.prev_operative.(pid)
+            || obs.candidate <> t.prev_candidate.(pid)
+          then begin
+            t.prev_operative.(pid) <- obs.operative;
+            t.prev_candidate.(pid) <- obs.candidate;
+            Trace.Sink.emit t.sink
+              (Trace.Event.Phase
+                 {
+                   round = r;
+                   pid;
+                   operative = obs.operative;
+                   candidate = obs.candidate;
+                 })
+          end;
+          (match (t.prev_decided.(pid), obs.decided) with
+          | None, Some v ->
+              t.prev_decided.(pid) <- Some v;
+              Trace.Sink.emit t.sink
+                (Trace.Event.Decide { round = r; pid; value = v })
+          | _ -> ())
     done;
     (* Termination is detected on the local phase: deciding is a local act. *)
     let everyone_decided = ref true in
@@ -150,6 +231,16 @@ let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
       }
     in
     (match on_round with Some f -> f ~round:r envelopes | None -> ());
+    (match tr with
+    | None -> ()
+    | Some t ->
+        Array.iter
+          (fun (e : View.envelope) ->
+            Trace.Sink.emit t.sink
+              (Trace.Event.Send
+                 { round = r; src = e.src; dst = e.dst; bits = e.bits;
+                   hint = e.hint }))
+          envelopes);
     let plan = adv view in
     List.iter
       (fun pid ->
@@ -158,7 +249,11 @@ let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
           if !faults_used >= cfg.t_max then
             illegal "corruption budget t=%d exceeded at round %d" cfg.t_max r;
           faulty.(pid) <- true;
-          incr faults_used
+          incr faults_used;
+          match tr with
+          | None -> ()
+          | Some t ->
+              Trace.Sink.emit t.sink (Trace.Event.Corrupt { round = r; pid })
         end)
       plan.new_faults;
     (* Phase 3: communication. Omitted messages still count as sent: the
@@ -172,9 +267,21 @@ let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
             if (not faulty.(pid)) && not faulty.(dst) then
               illegal "omission between non-faulty %d -> %d at round %d" pid
                 dst r;
-            incr messages_omitted
+            incr messages_omitted;
+            match tr with
+            | None -> ()
+            | Some t ->
+                Trace.Sink.emit t.sink
+                  (Trace.Event.Omit { round = r; src = pid; dst })
           end
-          else inboxes.(dst) <- (pid, m) :: inboxes.(dst))
+          else begin
+            inboxes.(dst) <- (pid, m) :: inboxes.(dst);
+            match tr with
+            | None -> ()
+            | Some t ->
+                Trace.Sink.emit t.sink
+                  (Trace.Event.Deliver { round = r; src = pid; dst })
+          end)
         outboxes.(pid);
       outboxes.(pid) <- []
     done;
@@ -182,6 +289,19 @@ let run ?on_round ?stop (module P : Protocol_intf.S) (cfg : Config.t)
       inboxes.(pid) <-
         List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(pid)
     done;
+    (match tr with
+    | None -> ()
+    | Some t ->
+        Trace.Sink.emit t.sink
+          (Trace.Event.Round_end
+             {
+               round = r;
+               messages = !messages_sent - t.r0_messages;
+               bits = !bits_sent - t.r0_bits;
+               omitted = !messages_omitted - t.r0_omitted;
+               rand_calls = Rand.Counter.calls counter - t.r0_rand_calls;
+               rand_bits = Rand.Counter.bits counter - t.r0_rand_bits;
+             }));
     if !decided_round <> None then stop_flag := true;
     (match stop with
     | None -> ()

@@ -46,6 +46,7 @@ val agreed_decision : outcome -> int option
 val run :
   ?on_round:(round:int -> View.envelope array -> unit) ->
   ?stop:(progress -> bool) ->
+  ?trace:Trace.Sink.t ->
   Protocol_intf.t ->
   Config.t ->
   adversary:Adversary_intf.t ->
@@ -58,5 +59,17 @@ val run :
     after every round with the cumulative counters, and returning [true]
     ends the run with the same semantics as hitting [max_rounds]
     ([decided_round] stays [None]); {!Supervise} uses it to enforce
-    message/randomness/wall-clock budgets. Raises [Invalid_argument] if
-    [inputs] is not an n-vector of bits. *)
+    message/randomness/wall-clock budgets.
+
+    [trace], if given, receives the run's structured event stream:
+    per round, [Round_start]; then per process in pid order [Coin] (when the
+    counted source advanced), [Phase] (when the observable state changed)
+    and [Decide] (on the decision transition); then one [Send] per envelope
+    in ascending [src] order; [Corrupt] for each newly corrupted process in
+    plan order; [Omit]/[Deliver] per message in delivery order; and a
+    [Round_end] carrying the round's metric deltas. The stream is a pure
+    function of [(protocol, adversary, cfg, inputs)] — no timestamps — so
+    equal-seed runs produce identical traces. When [trace] is absent no
+    event is constructed (tracing is zero-cost off).
+
+    Raises [Invalid_argument] if [inputs] is not an n-vector of bits. *)

@@ -42,3 +42,17 @@ module type S = sig
 end
 
 type t = (module S)
+
+(** Uniform constructor every protocol exports: the single way protocols
+    enter the registry. [build] packs the protocol for a configuration;
+    [rounds_needed] is the round bound the harness should allow for it
+    (used as [max_rounds] head-room by the registry). *)
+module type BUILDER = sig
+  val name : string
+  (** Registry id (also the CLI spelling). *)
+
+  val build : Config.t -> t
+  val rounds_needed : Config.t -> int
+end
+
+type builder = (module BUILDER)

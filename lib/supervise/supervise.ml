@@ -55,6 +55,7 @@ type failure_kind =
   | Budget_exceeded of breach
 
 exception Breach of failure_kind
+exception Breach_traced of failure_kind * string list
 
 type descriptor = {
   d_label : string;
@@ -69,7 +70,14 @@ type failure = {
   replay : string option;
   kind : failure_kind;
   elapsed_s : float;
+  trace : string list;
 }
+
+(* Label of the task currently running under [map], per domain — the trace
+   layer in bench_util uses it to name per-run trace files from inside
+   worker tasks. *)
+let label_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current_label () = Domain.DLS.get label_key
 
 let pp_failure_kind ppf = function
   | Crashed { exn_text; _ } -> Fmt.pf ppf "crashed: %s" exn_text
@@ -126,12 +134,15 @@ let failure_json f =
       field "actual" (Printf.sprintf "%.0f" actual);
       field "at_round" (string_of_int at_round));
   field "elapsed_s" (Printf.sprintf "%.3f" f.elapsed_s);
+  (* the trace tail's lines are already JSON objects (Trace.Event.to_json) *)
+  if f.trace <> [] then field "trace" ("[" ^ String.concat "," f.trace ^ "]");
   Buffer.add_char b '}';
   Buffer.contents b
 
 (* --- supervised engine run --- *)
 
-let run ?on_round ?(budget = Budget.unlimited) proto cfg ~adversary ~inputs =
+let run ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
+    ~inputs =
   let started = Unix.gettimeofday () in
   let tripped = ref None in
   let stop (p : Sim.Engine.progress) =
@@ -158,7 +169,7 @@ let run ?on_round ?(budget = Budget.unlimited) proto cfg ~adversary ~inputs =
     !tripped <> None
   in
   let stop = if Budget.is_unlimited budget then None else Some stop in
-  match Sim.Engine.run ?on_round ?stop proto cfg ~adversary ~inputs with
+  match Sim.Engine.run ?on_round ?stop ?trace proto cfg ~adversary ~inputs with
   | o -> (
       match !tripped with
       | Some b when o.Sim.Engine.decided_round = None ->
@@ -189,9 +200,10 @@ let map ?jobs ?(budget = Budget.unlimited) ?describe f xs =
   in
   Exec.mapi ?jobs
     (fun i x ->
+      let d = describe i x in
+      Domain.DLS.set label_key (Some d.d_label);
       let t0 = Unix.gettimeofday () in
-      let fail kind =
-        let d = describe i x in
+      let fail ?(trace = []) kind =
         Error
           {
             index = i;
@@ -200,26 +212,32 @@ let map ?jobs ?(budget = Budget.unlimited) ?describe f xs =
             replay = d.d_replay;
             kind;
             elapsed_s = Unix.gettimeofday () -. t0;
+            trace;
           }
       in
-      match f x with
-      | v -> (
-          match budget.Budget.wall_s with
-          | Some l ->
-              let elapsed = Unix.gettimeofday () -. t0 in
-              if elapsed > l then
-                fail (Timeout { limit_s = l; elapsed_s = elapsed })
-              else Ok v
-          | None -> Ok v)
-      | exception Breach kind -> fail kind
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          fail
-            (Crashed
-               {
-                 exn_text = Printexc.to_string e;
-                 backtrace = Printexc.raw_backtrace_to_string bt;
-               }))
+      let result =
+        match f x with
+        | v -> (
+            match budget.Budget.wall_s with
+            | Some l ->
+                let elapsed = Unix.gettimeofday () -. t0 in
+                if elapsed > l then
+                  fail (Timeout { limit_s = l; elapsed_s = elapsed })
+                else Ok v
+            | None -> Ok v)
+        | exception Breach kind -> fail kind
+        | exception Breach_traced (kind, trace) -> fail ~trace kind
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            fail
+              (Crashed
+                 {
+                   exn_text = Printexc.to_string e;
+                   backtrace = Printexc.raw_backtrace_to_string bt;
+                 })
+      in
+      Domain.DLS.set label_key None;
+      result)
     xs
 
 let map_list ?jobs ?budget ?describe f xs =

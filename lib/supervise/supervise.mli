@@ -63,6 +63,11 @@ exception Breach of failure_kind
     the quarantine record keeps the precise kind instead of a generic
     [Crashed]. *)
 
+exception Breach_traced of failure_kind * string list
+(** Like {!Breach}, carrying the run's last-K-rounds trace tail as JSONL
+    event lines ({!Trace.Tail.lines}); {!map} stores them in
+    [failure.trace] so every quarantine record ships with its tail. *)
+
 (** What a task is, for the quarantine report: a human label, the seed it
     is a pure function of, and a shell one-liner that reproduces it. *)
 type descriptor = {
@@ -78,7 +83,16 @@ type failure = {
   replay : string option;  (** reproduction command, if the caller gave one *)
   kind : failure_kind;
   elapsed_s : float;
+  trace : string list;
+      (** last-K-rounds trace tail as JSONL event lines, when the task
+          raised {!Breach_traced}; empty otherwise *)
 }
+
+val current_label : unit -> string option
+(** Label (descriptor [d_label]) of the task the calling domain is
+    currently running under {!map}, if any — lets code deep inside a task
+    (e.g. the trace-file writer in [bench_util]) name its output after the
+    sweep point. *)
 
 val pp_failure_kind : Format.formatter -> failure_kind -> unit
 val pp_failure : Format.formatter -> failure -> unit
@@ -91,6 +105,7 @@ val failure_json : failure -> string
 
 val run :
   ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
+  ?trace:Trace.Sink.t ->
   ?budget:Budget.t ->
   Sim.Protocol_intf.t ->
   Sim.Config.t ->

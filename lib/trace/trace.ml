@@ -1,0 +1,709 @@
+(* Structured per-round event tracing: the measurement instrument behind
+   the paper's per-round resource flows (rounds, communication bits, random
+   bits) and the debugging tool behind quarantine records. See trace.mli. *)
+
+type format = Jsonl | Binary
+
+let format_of_string = function
+  | "jsonl" | "json" -> Some Jsonl
+  | "binary" | "bin" -> Some Binary
+  | _ -> None
+
+let format_to_string = function Jsonl -> "jsonl" | Binary -> "binary"
+let format_extension = function Jsonl -> "jsonl" | Binary -> "bin"
+
+(* ------------------------------------------------------------------ *)
+(* Events.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type t =
+    | Round_start of { round : int }
+    | Send of { round : int; src : int; dst : int; bits : int; hint : int option }
+    | Corrupt of { round : int; pid : int }
+    | Omit of { round : int; src : int; dst : int }
+    | Deliver of { round : int; src : int; dst : int }
+    | Coin of { round : int; pid : int; calls : int; bits : int }
+    | Phase of { round : int; pid : int; operative : bool; candidate : int option }
+    | Decide of { round : int; pid : int; value : int }
+    | Round_end of {
+        round : int;
+        messages : int;
+        bits : int;
+        omitted : int;
+        rand_calls : int;
+        rand_bits : int;
+      }
+
+  let round = function
+    | Round_start { round }
+    | Send { round; _ }
+    | Corrupt { round; _ }
+    | Omit { round; _ }
+    | Deliver { round; _ }
+    | Coin { round; _ }
+    | Phase { round; _ }
+    | Decide { round; _ }
+    | Round_end { round; _ } ->
+        round
+
+  let equal (a : t) (b : t) = a = b
+
+  let opt_json = function None -> "null" | Some v -> string_of_int v
+
+  let to_json = function
+    | Round_start { round } ->
+        Printf.sprintf {|{"ev":"round-start","round":%d}|} round
+    | Send { round; src; dst; bits; hint } ->
+        Printf.sprintf
+          {|{"ev":"send","round":%d,"src":%d,"dst":%d,"bits":%d,"hint":%s}|}
+          round src dst bits (opt_json hint)
+    | Corrupt { round; pid } ->
+        Printf.sprintf {|{"ev":"corrupt","round":%d,"pid":%d}|} round pid
+    | Omit { round; src; dst } ->
+        Printf.sprintf {|{"ev":"omit","round":%d,"src":%d,"dst":%d}|} round src
+          dst
+    | Deliver { round; src; dst } ->
+        Printf.sprintf {|{"ev":"deliver","round":%d,"src":%d,"dst":%d}|} round
+          src dst
+    | Coin { round; pid; calls; bits } ->
+        Printf.sprintf
+          {|{"ev":"coin","round":%d,"pid":%d,"calls":%d,"bits":%d}|} round pid
+          calls bits
+    | Phase { round; pid; operative; candidate } ->
+        Printf.sprintf
+          {|{"ev":"phase","round":%d,"pid":%d,"operative":%b,"candidate":%s}|}
+          round pid operative (opt_json candidate)
+    | Decide { round; pid; value } ->
+        Printf.sprintf {|{"ev":"decide","round":%d,"pid":%d,"value":%d}|} round
+          pid value
+    | Round_end { round; messages; bits; omitted; rand_calls; rand_bits } ->
+        Printf.sprintf
+          {|{"ev":"round-end","round":%d,"messages":%d,"bits":%d,"omitted":%d,"rand_calls":%d,"rand_bits":%d}|}
+          round messages bits omitted rand_calls rand_bits
+
+  (* Parses exactly the flat one-line objects [to_json] writes: string
+     values never contain commas or colons, so splitting is safe. *)
+  let of_json line =
+    let line = String.trim line in
+    let n = String.length line in
+    if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then None
+    else
+      let fields = Hashtbl.create 8 in
+      match
+        String.split_on_char ',' (String.sub line 1 (n - 2))
+        |> List.iter (fun part ->
+               match String.index_opt part ':' with
+               | None -> raise Exit
+               | Some i ->
+                   let key = String.trim (String.sub part 0 i) in
+                   let value =
+                     String.trim
+                       (String.sub part (i + 1) (String.length part - i - 1))
+                   in
+                   let kl = String.length key in
+                   if kl < 2 || key.[0] <> '"' || key.[kl - 1] <> '"' then
+                     raise Exit;
+                   Hashtbl.replace fields (String.sub key 1 (kl - 2)) value)
+      with
+      | exception Exit -> None
+      | () -> (
+          let str k =
+            match Hashtbl.find_opt fields k with
+            | Some v
+              when String.length v >= 2
+                   && v.[0] = '"'
+                   && v.[String.length v - 1] = '"' ->
+                String.sub v 1 (String.length v - 2)
+            | _ -> raise Exit
+          in
+          let int k =
+            match Hashtbl.find_opt fields k with
+            | Some v -> int_of_string v
+            | None -> raise Exit
+          in
+          let boolean k =
+            match Hashtbl.find_opt fields k with
+            | Some "true" -> true
+            | Some "false" -> false
+            | _ -> raise Exit
+          in
+          let opt k =
+            match Hashtbl.find_opt fields k with
+            | Some "null" -> None
+            | Some v -> Some (int_of_string v)
+            | None -> raise Exit
+          in
+          match
+            match str "ev" with
+            | "round-start" -> Round_start { round = int "round" }
+            | "send" ->
+                Send
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    bits = int "bits";
+                    hint = opt "hint";
+                  }
+            | "corrupt" -> Corrupt { round = int "round"; pid = int "pid" }
+            | "omit" ->
+                Omit { round = int "round"; src = int "src"; dst = int "dst" }
+            | "deliver" ->
+                Deliver
+                  { round = int "round"; src = int "src"; dst = int "dst" }
+            | "coin" ->
+                Coin
+                  {
+                    round = int "round";
+                    pid = int "pid";
+                    calls = int "calls";
+                    bits = int "bits";
+                  }
+            | "phase" ->
+                Phase
+                  {
+                    round = int "round";
+                    pid = int "pid";
+                    operative = boolean "operative";
+                    candidate = opt "candidate";
+                  }
+            | "decide" ->
+                Decide
+                  { round = int "round"; pid = int "pid"; value = int "value" }
+            | "round-end" ->
+                Round_end
+                  {
+                    round = int "round";
+                    messages = int "messages";
+                    bits = int "bits";
+                    omitted = int "omitted";
+                    rand_calls = int "rand_calls";
+                    rand_bits = int "rand_bits";
+                  }
+            | _ -> raise Exit
+          with
+          | e -> Some e
+          | exception Exit -> None
+          | exception Not_found -> None
+          | exception Failure _ -> None)
+
+  let pp ppf e =
+    match e with
+    | Round_start { round } -> Fmt.pf ppf "r%-4d round-start" round
+    | Send { round; src; dst; bits; hint } ->
+        Fmt.pf ppf "r%-4d send    %d -> %d (%d bits%s)" round src dst bits
+          (match hint with
+          | Some h -> Printf.sprintf ", hint %d" h
+          | None -> "")
+    | Corrupt { round; pid } -> Fmt.pf ppf "r%-4d corrupt pid %d" round pid
+    | Omit { round; src; dst } ->
+        Fmt.pf ppf "r%-4d omit    %d -> %d" round src dst
+    | Deliver { round; src; dst } ->
+        Fmt.pf ppf "r%-4d deliver %d -> %d" round src dst
+    | Coin { round; pid; calls; bits } ->
+        Fmt.pf ppf "r%-4d coin    pid %d (%d calls, %d bits)" round pid calls
+          bits
+    | Phase { round; pid; operative; candidate } ->
+        Fmt.pf ppf "r%-4d phase   pid %d operative=%b candidate=%s" round pid
+          operative
+          (match candidate with Some c -> string_of_int c | None -> "-")
+    | Decide { round; pid; value } ->
+        Fmt.pf ppf "r%-4d decide  pid %d value %d" round pid value
+    | Round_end { round; messages; bits; omitted; rand_calls; rand_bits } ->
+        Fmt.pf ppf
+          "r%-4d round-end msgs=%d bits=%d omitted=%d rand=%d calls/%d bits"
+          round messages bits omitted rand_calls rand_bits
+
+  (* --- compact binary codec (tag byte + LEB128 varints) --- *)
+
+  let tag = function
+    | Round_start _ -> 0
+    | Send _ -> 1
+    | Corrupt _ -> 2
+    | Omit _ -> 3
+    | Deliver _ -> 4
+    | Coin _ -> 5
+    | Phase _ -> 6
+    | Decide _ -> 7
+    | Round_end _ -> 8
+
+  let put_uv b n =
+    if n < 0 then invalid_arg "Trace.Event: negative field in binary codec";
+    let rec go n =
+      if n < 0x80 then Buffer.add_char b (Char.chr n)
+      else begin
+        Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let zigzag n = (n lsl 1) lxor (n asr 62)
+  let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+  let put_opt b = function
+    | None -> put_uv b 0
+    | Some v ->
+        put_uv b 1;
+        put_uv b (zigzag v)
+
+  let to_binary b e =
+    Buffer.add_char b (Char.chr (tag e));
+    match e with
+    | Round_start { round } -> put_uv b round
+    | Send { round; src; dst; bits; hint } ->
+        put_uv b round;
+        put_uv b src;
+        put_uv b dst;
+        put_uv b bits;
+        put_opt b hint
+    | Corrupt { round; pid } ->
+        put_uv b round;
+        put_uv b pid
+    | Omit { round; src; dst } | Deliver { round; src; dst } ->
+        put_uv b round;
+        put_uv b src;
+        put_uv b dst
+    | Coin { round; pid; calls; bits } ->
+        put_uv b round;
+        put_uv b pid;
+        put_uv b calls;
+        put_uv b bits
+    | Phase { round; pid; operative; candidate } ->
+        put_uv b round;
+        put_uv b pid;
+        put_uv b (if operative then 1 else 0);
+        put_opt b candidate
+    | Decide { round; pid; value } ->
+        put_uv b round;
+        put_uv b pid;
+        put_uv b (zigzag value)
+    | Round_end { round; messages; bits; omitted; rand_calls; rand_bits } ->
+        put_uv b round;
+        put_uv b messages;
+        put_uv b bits;
+        put_uv b omitted;
+        put_uv b rand_calls;
+        put_uv b rand_bits
+
+  exception Truncated
+
+  let get_uv s pos =
+    let rec go shift acc =
+      if !pos >= String.length s then raise Truncated;
+      let c = Char.code s.[!pos] in
+      incr pos;
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let get_opt s pos =
+    match get_uv s pos with
+    | 0 -> None
+    | _ -> Some (unzigzag (get_uv s pos))
+
+  let of_binary s pos =
+    if !pos >= String.length s then raise Truncated;
+    let tag = Char.code s.[!pos] in
+    incr pos;
+    let uv () = get_uv s pos in
+    match tag with
+    | 0 -> Round_start { round = uv () }
+    | 1 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        let bits = uv () in
+        let hint = get_opt s pos in
+        Send { round; src; dst; bits; hint }
+    | 2 ->
+        let round = uv () in
+        Corrupt { round; pid = uv () }
+    | 3 ->
+        let round = uv () in
+        let src = uv () in
+        Omit { round; src; dst = uv () }
+    | 4 ->
+        let round = uv () in
+        let src = uv () in
+        Deliver { round; src; dst = uv () }
+    | 5 ->
+        let round = uv () in
+        let pid = uv () in
+        let calls = uv () in
+        Coin { round; pid; calls; bits = uv () }
+    | 6 ->
+        let round = uv () in
+        let pid = uv () in
+        let operative = uv () = 1 in
+        Phase { round; pid; operative; candidate = get_opt s pos }
+    | 7 ->
+        let round = uv () in
+        let pid = uv () in
+        Decide { round; pid; value = unzigzag (uv ()) }
+    | 8 ->
+        let round = uv () in
+        let messages = uv () in
+        let bits = uv () in
+        let omitted = uv () in
+        let rand_calls = uv () in
+        Round_end { round; messages; bits; omitted; rand_calls; rand_bits = uv () }
+    | t -> raise (Failure (Printf.sprintf "Trace: unknown binary tag %d" t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let binary_magic = "CTRACE1\n"
+
+module Sink = struct
+  type t = { emit : Event.t -> unit; close : unit -> unit }
+
+  let make ~emit ~close = { emit; close }
+  let emit t e = t.emit e
+  let close t = t.close ()
+  let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+  let tee a b =
+    {
+      emit =
+        (fun e ->
+          a.emit e;
+          b.emit e);
+      close =
+        (fun () ->
+          a.close ();
+          b.close ());
+    }
+
+  let tee_all = function
+    | [] -> null
+    | [ s ] -> s
+    | s :: rest -> List.fold_left tee s rest
+
+  let memory () =
+    let acc = ref [] in
+    ( { emit = (fun e -> acc := e :: !acc); close = (fun () -> ()) },
+      fun () -> List.rev !acc )
+
+  let jsonl ch =
+    {
+      emit =
+        (fun e ->
+          output_string ch (Event.to_json e);
+          output_char ch '\n');
+      close = (fun () -> flush ch);
+    }
+
+  let binary ch =
+    let b = Buffer.create 65536 in
+    Buffer.add_string b binary_magic;
+    let drain () =
+      Buffer.output_buffer ch b;
+      Buffer.clear b
+    in
+    {
+      emit =
+        (fun e ->
+          Event.to_binary b e;
+          if Buffer.length b >= 61440 then drain ());
+      close =
+        (fun () ->
+          drain ();
+          flush ch);
+    }
+
+  let file ~path ~format =
+    let ch = open_out_bin path in
+    let inner = match format with Jsonl -> jsonl ch | Binary -> binary ch in
+    {
+      inner with
+      close =
+        (fun () ->
+          inner.close ();
+          close_out ch);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Preallocated event ring.                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  type t = { buf : Event.t array; mutable next : int; mutable len : int }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Trace.Ring.create: capacity must be > 0";
+    {
+      buf = Array.make capacity (Event.Round_start { round = 0 });
+      next = 0;
+      len = 0;
+    }
+
+  let capacity t = Array.length t.buf
+  let length t = t.len
+
+  let add t e =
+    let cap = Array.length t.buf in
+    t.buf.(t.next) <- e;
+    t.next <- (t.next + 1) mod cap;
+    if t.len < cap then t.len <- t.len + 1
+
+  let to_list t =
+    let cap = Array.length t.buf in
+    List.init t.len (fun i -> t.buf.((t.next - t.len + i + (2 * cap)) mod cap))
+
+  let sink t = Sink.make ~emit:(add t) ~close:(fun () -> ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace tails: the last K rounds of events.                           *)
+(* ------------------------------------------------------------------ *)
+
+module Tail = struct
+  type t = { ring : Ring.t; rounds : int }
+
+  let create ?(capacity = 8192) ~rounds () =
+    if rounds <= 0 then invalid_arg "Trace.Tail.create: rounds must be > 0";
+    { ring = Ring.create ~capacity; rounds }
+
+  let sink t = Ring.sink t.ring
+
+  let events t =
+    match Ring.to_list t.ring with
+    | [] -> []
+    | evs ->
+        let hi =
+          List.fold_left (fun a e -> max a (Event.round e)) 0 evs
+        in
+        let lo = hi - t.rounds + 1 in
+        List.filter (fun e -> Event.round e >= lo) evs
+
+  let lines t = List.map Event.to_json (events t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Derived per-round counters and run summary.                         *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type per_round = {
+    round : int;
+    messages : int;
+    bits : int;
+    omitted : int;
+    corruptions : int;
+    coin_calls : int;
+    coin_bits : int;
+    decisions : int;
+    wall_s : float;
+  }
+
+  type summary = {
+    rounds : int;
+    messages : int;
+    bits : int;
+    omitted : int;
+    corruptions : int;
+    coin_calls : int;
+    coin_bits : int;
+    decisions : int;
+    max_round_messages : int;
+    max_round_bits : int;
+    max_round_coin_bits : int;
+    wall_total_s : float;
+    per_round : per_round list;  (** chronological *)
+  }
+
+  let empty_summary =
+    {
+      rounds = 0;
+      messages = 0;
+      bits = 0;
+      omitted = 0;
+      corruptions = 0;
+      coin_calls = 0;
+      coin_bits = 0;
+      decisions = 0;
+      max_round_messages = 0;
+      max_round_bits = 0;
+      max_round_coin_bits = 0;
+      wall_total_s = 0.;
+      per_round = [];
+    }
+
+  let collector ?(clock = Unix.gettimeofday) () =
+    let acc = ref [] in
+    (* intra-round state, reset at Round_start *)
+    let corruptions = ref 0 in
+    let coin_calls = ref 0 in
+    let coin_bits = ref 0 in
+    let decisions = ref 0 in
+    let started = ref (clock ()) in
+    let emit (e : Event.t) =
+      match e with
+      | Event.Round_start _ ->
+          corruptions := 0;
+          coin_calls := 0;
+          coin_bits := 0;
+          decisions := 0;
+          started := clock ()
+      | Event.Corrupt _ -> incr corruptions
+      | Event.Coin { calls; bits; _ } ->
+          coin_calls := !coin_calls + calls;
+          coin_bits := !coin_bits + bits
+      | Event.Decide _ -> incr decisions
+      | Event.Round_end { round; messages; bits; omitted; rand_calls = _; _ } ->
+          (* Round_end carries this round's deltas, not cumulative totals *)
+          acc :=
+            {
+              round;
+              messages;
+              bits;
+              omitted;
+              corruptions = !corruptions;
+              coin_calls = !coin_calls;
+              coin_bits = !coin_bits;
+              decisions = !decisions;
+              wall_s = clock () -. !started;
+            }
+            :: !acc;
+      | Event.Send _ | Event.Omit _ | Event.Deliver _ | Event.Phase _ -> ()
+    in
+    let summary () =
+      let rounds = List.rev !acc in
+      List.fold_left
+        (fun s (r : per_round) ->
+          {
+            rounds = s.rounds + 1;
+            messages = s.messages + r.messages;
+            bits = s.bits + r.bits;
+            omitted = s.omitted + r.omitted;
+            corruptions = s.corruptions + r.corruptions;
+            coin_calls = s.coin_calls + r.coin_calls;
+            coin_bits = s.coin_bits + r.coin_bits;
+            decisions = s.decisions + r.decisions;
+            max_round_messages = max s.max_round_messages r.messages;
+            max_round_bits = max s.max_round_bits r.bits;
+            max_round_coin_bits = max s.max_round_coin_bits r.coin_bits;
+            wall_total_s = s.wall_total_s +. r.wall_s;
+            per_round = s.per_round;
+          })
+        { empty_summary with per_round = rounds }
+        rounds
+    in
+    (Sink.make ~emit ~close:(fun () -> ()), summary)
+
+  let of_events events =
+    let sink, summary = collector ~clock:(fun () -> 0.) () in
+    List.iter (Sink.emit sink) events;
+    summary ()
+
+  let pp_summary ppf s =
+    Fmt.pf ppf
+      "rounds=%d messages=%d bits=%d omitted=%d corruptions=%d coin_calls=%d \
+       coin_bits=%d decisions=%d peak-round: msgs=%d bits=%d coin_bits=%d"
+      s.rounds s.messages s.bits s.omitted s.corruptions s.coin_calls
+      s.coin_bits s.decisions s.max_round_messages s.max_round_bits
+      s.max_round_coin_bits
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace files: write a list of events, read either format back.       *)
+(* ------------------------------------------------------------------ *)
+
+module File = struct
+  exception Corrupt of string
+
+  let write ~path ~format events =
+    let sink = Sink.file ~path ~format in
+    List.iter (Sink.emit sink) events;
+    Sink.close sink
+
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let read path =
+    let s = read_all path in
+    if starts_with ~prefix:binary_magic s then begin
+      let pos = ref (String.length binary_magic) in
+      let acc = ref [] in
+      (try
+         while !pos < String.length s do
+           acc := Event.of_binary s pos :: !acc
+         done
+       with
+      | Event.Truncated ->
+          raise (Corrupt (Printf.sprintf "%s: truncated binary event" path))
+      | Failure m -> raise (Corrupt (Printf.sprintf "%s: %s" path m)));
+      List.rev !acc
+    end
+    else
+      String.split_on_char '\n' s
+      |> List.filteri (fun i line ->
+             ignore i;
+             String.trim line <> "")
+      |> List.map (fun line ->
+             match Event.of_json line with
+             | Some e -> e
+             | None ->
+                 raise
+                   (Corrupt
+                      (Printf.sprintf "%s: unparseable trace line: %s" path
+                         line)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Structural diff: the first diverging event of two traces.           *)
+(* ------------------------------------------------------------------ *)
+
+module Diff = struct
+  type divergence = {
+    index : int;  (** 0-based position of the first differing event *)
+    left : Event.t option;  (** [None]: the left trace ended here *)
+    right : Event.t option;  (** [None]: the right trace ended here *)
+  }
+
+  type outcome = Identical of int | Diverged of divergence
+
+  let events a b =
+    let rec go i a b =
+      match (a, b) with
+      | [], [] -> Identical i
+      | [], r :: _ -> Diverged { index = i; left = None; right = Some r }
+      | l :: _, [] -> Diverged { index = i; left = Some l; right = None }
+      | l :: a', r :: b' ->
+          if Event.equal l r then go (i + 1) a' b'
+          else Diverged { index = i; left = Some l; right = Some r }
+    in
+    go 0 a b
+
+  let files ~left ~right = events (File.read left) (File.read right)
+
+  let pp_side ppf = function
+    | Some e -> Fmt.pf ppf "%s" (Event.to_json e)
+    | None -> Fmt.pf ppf "<end of trace>"
+
+  let pp_outcome ppf = function
+    | Identical n -> Fmt.pf ppf "traces identical (%d events)" n
+    | Diverged { index; left; right } ->
+        let round =
+          match (left, right) with
+          | Some e, _ | _, Some e -> Event.round e
+          | None, None -> 0
+        in
+        Fmt.pf ppf
+          "first divergence at event #%d (round %d)@.  left : %a@.  right: %a"
+          index round pp_side left pp_side right
+end

@@ -1,0 +1,209 @@
+(** Structured per-round event tracing.
+
+    The paper's claims are statements about per-round resource flows —
+    rounds, communication bits, random bits (Table 1) — so the trace layer
+    is both the measurement instrument and the debugging tool: every send,
+    delivery, omission, corruption, coin draw, state-phase transition and
+    decision the engine executes can be emitted as a typed event into a
+    pluggable {!Sink}.
+
+    Design constraints:
+    - {b zero cost when off}: the engine takes an [option]al sink and
+      allocates nothing on the off path; this library never installs global
+      state.
+    - {b deterministic}: events carry no timestamps, so two runs with the
+      same seed produce byte-identical traces at any [--jobs] width
+      (wall-clock lives only in {!Metrics}, outside the event stream).
+    - {b bounded capture}: {!Ring} / {!Tail} keep the last K rounds in a
+      preallocated buffer, cheap enough to leave on for every supervised
+      run so quarantine records ship with their trace tail. *)
+
+(** Serialization format of a trace file. *)
+type format = Jsonl | Binary
+
+val format_of_string : string -> format option
+val format_to_string : format -> string
+
+val format_extension : format -> string
+(** ["jsonl"] or ["bin"]. *)
+
+module Event : sig
+  (** One engine event. [round] is 1-based; counters in [Round_end] are the
+      round's own deltas, not cumulative totals. *)
+  type t =
+    | Round_start of { round : int }
+    | Send of { round : int; src : int; dst : int; bits : int; hint : int option }
+        (** a message handed to the communication phase (pre-adversary) *)
+    | Corrupt of { round : int; pid : int }
+        (** the adversary corrupted [pid] this round *)
+    | Omit of { round : int; src : int; dst : int }
+        (** the adversary suppressed this round's [src] -> [dst] message *)
+    | Deliver of { round : int; src : int; dst : int }
+        (** the message survived and will be consumed next round *)
+    | Coin of { round : int; pid : int; calls : int; bits : int }
+        (** [pid] drew from the counted random source during its local phase *)
+    | Phase of { round : int; pid : int; operative : bool; candidate : int option }
+        (** [pid]'s observable state changed (operative flag or candidate) *)
+    | Decide of { round : int; pid : int; value : int }
+    | Round_end of {
+        round : int;
+        messages : int;
+        bits : int;
+        omitted : int;
+        rand_calls : int;
+        rand_bits : int;
+      }  (** per-round totals *)
+
+  val round : t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> string
+  (** One-line flat JSON object, no trailing newline. *)
+
+  val of_json : string -> t option
+  (** Parses exactly the lines {!to_json} writes. *)
+
+  val to_binary : Buffer.t -> t -> unit
+  (** Append the compact binary encoding (tag byte + LEB128 varints). *)
+
+  exception Truncated
+
+  val of_binary : string -> int ref -> t
+  (** Decode one event at [!pos], advancing it. Raises {!Truncated} on a
+      short read and [Failure] on an unknown tag. *)
+end
+
+(** A pluggable event consumer. *)
+module Sink : sig
+  type t
+
+  val make : emit:(Event.t -> unit) -> close:(unit -> unit) -> t
+  val emit : t -> Event.t -> unit
+  val close : t -> unit
+  val null : t
+  val tee : t -> t -> t
+  val tee_all : t list -> t
+
+  val memory : unit -> t * (unit -> Event.t list)
+  (** In-memory sink for tests: the second component returns the events
+      recorded so far, oldest first. *)
+
+  val jsonl : out_channel -> t
+  (** One JSON object per line; [close] flushes but does not close the
+      channel. *)
+
+  val binary : out_channel -> t
+  (** Compact binary codec for soak runs (writes the magic header, buffers
+      ~64 KiB between writes); [close] flushes but does not close the
+      channel. *)
+
+  val file : path:string -> format:format -> t
+  (** Opens [path], writes in [format]; [close] closes the file. *)
+end
+
+(** Preallocated event ring: O(1) add, keeps the newest [capacity] events,
+    allocates only at creation. *)
+module Ring : sig
+  type t
+
+  val create : capacity:int -> t
+  val capacity : t -> int
+  val length : t -> int
+  val add : t -> Event.t -> unit
+
+  val to_list : t -> Event.t list
+  (** Oldest first. *)
+
+  val sink : t -> Sink.t
+end
+
+(** Last-K-rounds capture over a {!Ring} — what quarantine records ship
+    with. *)
+module Tail : sig
+  type t
+
+  val create : ?capacity:int -> rounds:int -> unit -> t
+  (** [capacity] bounds the event count (default 8192); [rounds] is the
+      number of trailing rounds reported by {!events}. *)
+
+  val sink : t -> Sink.t
+
+  val events : t -> Event.t list
+  (** The retained events of the last [rounds] distinct rounds, oldest
+      first. *)
+
+  val lines : t -> string list
+  (** {!events} rendered as JSONL lines. *)
+end
+
+(** Per-round counters and a run summary derived from the event stream. *)
+module Metrics : sig
+  type per_round = {
+    round : int;
+    messages : int;
+    bits : int;
+    omitted : int;
+    corruptions : int;
+    coin_calls : int;
+    coin_bits : int;
+    decisions : int;
+    wall_s : float;  (** wall-clock spent in this round (collector-side) *)
+  }
+
+  type summary = {
+    rounds : int;
+    messages : int;
+    bits : int;
+    omitted : int;
+    corruptions : int;
+    coin_calls : int;
+    coin_bits : int;
+    decisions : int;
+    max_round_messages : int;
+    max_round_bits : int;
+    max_round_coin_bits : int;
+    wall_total_s : float;
+    per_round : per_round list;  (** chronological *)
+  }
+
+  val empty_summary : summary
+
+  val collector : ?clock:(unit -> float) -> unit -> Sink.t * (unit -> summary)
+  (** A sink that folds the stream into per-round counters; call the second
+      component after the run for the summary. [clock] defaults to
+      [Unix.gettimeofday]; pass a constant clock for deterministic
+      summaries. *)
+
+  val of_events : Event.t list -> summary
+  (** Fold a recorded event list (deterministic: wall times are 0). *)
+
+  val pp_summary : Format.formatter -> summary -> unit
+end
+
+(** Whole-trace files. *)
+module File : sig
+  exception Corrupt of string
+
+  val write : path:string -> format:format -> Event.t list -> unit
+
+  val read : string -> Event.t list
+  (** Auto-detects the format (binary magic vs JSONL). Raises {!Corrupt} on
+      undecodable content. *)
+end
+
+(** First-diverging-event comparison — the debuggable form of the test
+    suite's "bit-identical" claims. *)
+module Diff : sig
+  type divergence = {
+    index : int;  (** 0-based position of the first differing event *)
+    left : Event.t option;  (** [None]: the left trace ended here *)
+    right : Event.t option;  (** [None]: the right trace ended here *)
+  }
+
+  type outcome = Identical of int  (** event count *) | Diverged of divergence
+
+  val events : Event.t list -> Event.t list -> outcome
+  val files : left:string -> right:string -> outcome
+  val pp_outcome : Format.formatter -> outcome -> unit
+end

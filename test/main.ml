@@ -21,4 +21,5 @@ let () =
       ("valency", Test_valency.suite);
       ("phase-king", Test_phase_king.suite);
       ("harness", Test_harness.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -115,15 +115,14 @@ module Selfish = struct
 end
 
 let selfish_entry =
-  {
-    Harness.Registry.id = "selfish";
-    model = Omission;
-    kind = Consensus;
-    max_t = (fun n -> n / 4);
-    min_n = 2;
-    build = (fun _ -> (module Selfish : Sim.Protocol_intf.S));
-    rounds_bound = (fun _ -> 3);
-  }
+  Harness.Registry.make ~model:Omission ~kind:Consensus
+    ~max_t:(fun n -> n / 4)
+    ~min_n:2
+    (module struct
+      let name = "selfish"
+      let build _ = (module Selfish : Sim.Protocol_intf.S)
+      let rounds_needed _ = 3
+    end : Sim.Protocol_intf.BUILDER)
 
 let test_broken_protocol_caught () =
   match Harness.Fuzz.run ~protocols:[ selfish_entry ] ~count:50 ~seed:3 () with
