@@ -48,6 +48,7 @@ let experiments =
     ("abl-delta", Ablations.abl_delta);
     ("abl-spread", Ablations.abl_spread);
     ("abl-epochs", Ablations.abl_epochs);
+    ("micro-engine", Micro.engine_bench);
   ]
 
 let () =

@@ -70,6 +70,109 @@ let test_expander =
          let removed = Array.init 256 (fun v -> v < 17) in
          ignore (Expander.prune g ~removed ~min_deg:21)))
 
+(* ------------------------------------------------------------------ *)
+(* Engine-path allocation microbenchmark (the "micro-engine"           *)
+(* experiment): allocated words per round and rounds per second for    *)
+(* every protocol ported to the buffered [step_into] path, measured on *)
+(* both engine paths. Emits kind="micro" JSON rows that                *)
+(* bench/perf_gate.ml compares against bench/micro_baseline.json.      *)
+(* ------------------------------------------------------------------ *)
+
+module Out = Bench_util.Out
+
+(* [Gc.minor_words] reads the allocation pointer directly, so it is exact
+   even when no minor collection has run inside the measurement window —
+   [quick_stat.minor_words] is only updated at collections and can lag by
+   a whole minor heap. *)
+let words_allocated () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* Total allocated words (all heaps: the envelope arena and the exact
+   window are big enough to be allocated directly on the major heap, so a
+   minor-words-only delta would undercount the very arrays the refactor
+   removes), total rounds and wall time over [runs] runs of [f]. One
+   warmup run first: the buffered path's reusable {!Sim.Engine.instance}
+   pays its one-time buffer construction there — steady-state cost is
+   what the perf gate tracks. *)
+let measure_runs f ~runs =
+  ignore (f () : Sim.Engine.outcome);
+  Gc.full_major ();
+  let w0 = words_allocated () in
+  let t0 = Unix.gettimeofday () in
+  let rounds = ref 0 in
+  for _ = 1 to runs do
+    let o = f () in
+    rounds := !rounds + o.Sim.Engine.rounds_total
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let w1 = words_allocated () in
+  (w1 -. w0, !rounds, wall)
+
+let engine_case ~name ~n ~t ~runs ~legacy ~buffered =
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed:1 ~max_rounds:20000 () in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let adversary = Sim.Adversary_intf.none in
+  let legacy_proto = legacy cfg in
+  let inst = Sim.Engine.instance (buffered cfg) cfg in
+  let run_path path f =
+    let words, rounds, wall = measure_runs f ~runs in
+    let wpr = words /. float_of_int (max 1 rounds) in
+    let fields =
+      [
+        ("protocol", Out.S name);
+        ("path", Out.S path);
+        ("n", Out.I n);
+        ("t", Out.I t);
+        ("runs", Out.I runs);
+        ("rounds", Out.I rounds);
+        ("words_per_round", Out.F wpr);
+      ]
+      @
+      if Out.is_stable () then []
+      else [ ("rounds_per_sec", Out.F (float_of_int rounds /. wall)) ]
+    in
+    Out.emit ~kind:"micro" fields;
+    wpr
+  in
+  let w_legacy =
+    run_path "legacy" (fun () ->
+        Sim.Engine.run legacy_proto cfg ~adversary ~inputs)
+  in
+  let w_buffered =
+    run_path "buffered" (fun () ->
+        Sim.Engine.run_instance inst ~adversary ~inputs)
+  in
+  Bench_util.row "%-14s n=%-4d t=%-3d %12.0f w/rnd legacy %12.0f buffered (%.1fx)\n"
+    name n t w_legacy w_buffered
+    (w_legacy /. Float.max 1. w_buffered)
+
+(* The sizes keep the legacy path affordable (dolev-strong relays are
+   O(n^2) per round); flood includes n=256 even in quick mode because the
+   5x acceptance bar is stated at n >= 256. *)
+let engine_bench ~quick () =
+  Bench_util.section
+    "Engine path: allocated words/round (legacy shim vs buffered instance)";
+  let runs = if quick then 3 else 6 in
+  List.iter
+    (fun n ->
+      engine_case ~name:"flood" ~n ~t:8 ~runs
+        ~legacy:Consensus.Flood.protocol
+        ~buffered:Consensus.Flood.protocol_buffered)
+    (if quick then [ 64; 256 ] else [ 64; 256; 512 ]);
+  List.iter
+    (fun n ->
+      engine_case ~name:"dolev-strong" ~n ~t:4 ~runs
+        ~legacy:Consensus.Dolev_strong.protocol
+        ~buffered:Consensus.Dolev_strong.protocol_buffered)
+    (if quick then [ 32 ] else [ 32; 64 ]);
+  List.iter
+    (fun n ->
+      engine_case ~name:"optimal" ~n ~t:2 ~runs
+        ~legacy:(fun cfg -> Consensus.Optimal_omissions.protocol cfg)
+        ~buffered:(fun cfg -> Consensus.Optimal_omissions.protocol_buffered cfg))
+    (if quick then [ 24 ] else [ 24; 48 ])
+
 let benchmark () =
   let tests =
     [

@@ -1,0 +1,160 @@
+(* Allocation-regression gate over the engine microbenchmark.
+
+   Reads the kind="micro" JSON-lines rows produced by the micro-engine
+   experiment (bench/main.exe --only micro-engine) and compares each
+   (protocol, path, n) point against the checked-in baseline
+   bench/micro_baseline.json. Two checks:
+
+   - regression: words_per_round must not exceed 2x the baseline value
+     (plus a small absolute slack so near-zero baselines don't make the
+     gate flaky);
+   - headline: at the largest measured flood n >= 256, the buffered path
+     must allocate at least 5x fewer words per round than the legacy
+     list-based shim path — the refactor's acceptance bar.
+
+   No JSON library: records are flat one-line objects written by
+   Bench_util.Out, so plain substring field extraction is exact. Exit
+   status 0 = gate passed, 1 = regression or missing data, 2 = usage. *)
+
+type row = {
+  protocol : string;
+  path : string;
+  n : int;
+  words_per_round : float;
+}
+
+(* Extract the value following ["key":] in a flat JSON-lines record. *)
+let field_raw line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat in
+  let llen = String.length line in
+  let rec scan i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let start = i + plen in
+      let stop = ref start in
+      if start < llen && line.[start] = '"' then begin
+        stop := start + 1;
+        while !stop < llen && line.[!stop] <> '"' do
+          incr stop
+        done;
+        Some (String.sub line (start + 1) (!stop - start - 1))
+      end
+      else begin
+        while
+          !stop < llen && line.[!stop] <> ',' && line.[!stop] <> '}'
+        do
+          incr stop
+        done;
+        Some (String.sub line start (!stop - start))
+      end
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let parse_row line =
+  match
+    ( field_raw line "protocol",
+      field_raw line "path",
+      field_raw line "n",
+      field_raw line "words_per_round" )
+  with
+  | Some protocol, Some path, Some n, Some wpr -> (
+      match (int_of_string_opt n, float_of_string_opt wpr) with
+      | Some n, Some words_per_round -> Some { protocol; path; n; words_per_round }
+      | _ -> None)
+  | _ -> None
+
+let load_rows file =
+  let ic = open_in file in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match field_raw line "kind" with
+       | Some "micro" -> (
+           match parse_row line with
+           | Some r -> rows := r :: !rows
+           | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(* Later rows win: a records file may hold several runs appended. *)
+let lookup rows ~protocol ~path ~n =
+  List.fold_left
+    (fun acc r ->
+      if r.protocol = protocol && r.path = path && r.n = n then
+        Some r.words_per_round
+      else acc)
+    None rows
+
+let () =
+  let records, baseline =
+    match Sys.argv with
+    | [| _; records; baseline |] -> (records, baseline)
+    | _ ->
+        prerr_endline "usage: perf_gate <records.json> <baseline.json>";
+        exit 2
+  in
+  let current = load_rows records in
+  let base = load_rows baseline in
+  if base = [] then begin
+    Printf.eprintf "perf_gate: no kind=\"micro\" rows in baseline %s\n" baseline;
+    exit 1
+  end;
+  if current = [] then begin
+    Printf.eprintf "perf_gate: no kind=\"micro\" rows in %s (run bench/main.exe --only micro-engine first)\n"
+      records;
+    exit 1
+  end;
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL %s\n" s) fmt in
+  (* Regression check: every baseline point must exist and stay within 2x
+     (+256 words absolute slack for near-zero steady-state baselines). *)
+  List.iter
+    (fun b ->
+      match lookup current ~protocol:b.protocol ~path:b.path ~n:b.n with
+      | None ->
+          fail "%s/%s n=%d: point missing from current records" b.protocol
+            b.path b.n
+      | Some w ->
+          let limit = (2. *. b.words_per_round) +. 256. in
+          if w > limit then
+            fail "%s/%s n=%d: %.0f words/round > limit %.0f (baseline %.0f)"
+              b.protocol b.path b.n w limit b.words_per_round
+          else
+            Printf.printf "ok   %-14s %-9s n=%-4d %12.0f words/round (baseline %.0f)\n"
+              b.protocol b.path b.n w b.words_per_round)
+    base;
+  (* Headline check: buffered flood allocates >= 5x less than the shim at
+     the largest measured n >= 256. *)
+  let flood_ns =
+    List.filter_map
+      (fun r -> if r.protocol = "flood" && r.n >= 256 then Some r.n else None)
+      current
+  in
+  (match flood_ns with
+  | [] -> fail "no flood point with n >= 256 in current records"
+  | ns ->
+      let n = List.fold_left max 0 ns in
+      let legacy = lookup current ~protocol:"flood" ~path:"legacy" ~n in
+      let buffered = lookup current ~protocol:"flood" ~path:"buffered" ~n in
+      (match (legacy, buffered) with
+      | Some l, Some b ->
+          let ratio = l /. Float.max 1. b in
+          if ratio < 5. then
+            fail "flood n=%d: legacy/buffered allocation ratio %.1fx < 5x" n
+              ratio
+          else
+            Printf.printf "ok   flood n=%d legacy/buffered ratio %.1fx (>= 5x)\n"
+              n ratio
+      | _ -> fail "flood n=%d: missing legacy or buffered row" n));
+  if !failures > 0 then begin
+    Printf.printf "perf gate: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "perf gate: all checks passed"

@@ -43,14 +43,16 @@ let make_adversary kind =
   | `Staggered -> Adversary.staggered_crash ~per_round:3
   | `Eclipse -> Adversary.eclipse ~victim:0
 
-(* Protocols are resolved through the registry — one BUILDER per protocol.
-   "param" is the one extra spelling: ParamOmissions instantiated at the
-   -x given on the command line rather than the registry's x=2 entry. *)
+(* Protocols are resolved through the registry — one BUILDER per protocol,
+   plus the buffered constructor when the protocol has been ported to the
+   allocation-free engine path. "param" is the one extra spelling:
+   ParamOmissions instantiated at the -x given on the command line rather
+   than the registry's x=2 entry. *)
 let resolve_builder id ~x =
-  if id = "param" then Consensus.Param_omissions.builder ~x ()
+  if id = "param" then (Consensus.Param_omissions.builder ~x (), None)
   else
     match Harness.Registry.find id with
-    | Some e -> e.Harness.Registry.builder
+    | Some e -> (e.Harness.Registry.builder, e.Harness.Registry.buffered)
     | None ->
         Fmt.epr "unknown protocol %S; registered: %s (plus \"param\", which \
                  takes -x)@."
@@ -87,8 +89,8 @@ let print_tail lines =
   end
 
 let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
-    trace_dir trace_format trace_tail =
-  let builder = resolve_builder protocol ~x in
+    trace_dir trace_format trace_tail legacy_engine =
+  let builder, buffered = resolve_builder protocol ~x in
   let module B = (val builder : Sim.Protocol_intf.BUILDER) in
   let format = format_or_die trace_format in
   Option.iter ensure_dir trace_dir;
@@ -97,7 +99,20 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
   let run_one ~seed ~verbose =
     let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
     let cfg = { cfg0 with Sim.Config.max_rounds = B.rounds_needed cfg0 } in
-    let proto = B.build cfg in
+    let proto =
+      match buffered with
+      | Some f when not legacy_engine -> Sim.Protocol_intf.Buffered (f cfg)
+      | _ -> Sim.Protocol_intf.Legacy (B.build cfg)
+    in
+    let proto_name =
+      match proto with
+      | Sim.Protocol_intf.Legacy p ->
+          let module P = (val p : Sim.Protocol_intf.S) in
+          P.name
+      | Sim.Protocol_intf.Buffered p ->
+          let module P = (val p : Sim.Protocol_intf.BUFFERED) in
+          P.name
+    in
     let inputs = make_inputs inputs_kind n seed in
     let tail =
       if trace_tail > 0 then Some (Trace.Tail.create ~rounds:trace_tail ())
@@ -127,7 +142,7 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
       match sinks with [] -> None | l -> Some (Trace.Sink.tee_all l)
     in
     let result =
-      Supervise.run ?trace:tsink ~budget proto cfg
+      Supervise.run_any ?trace:tsink ~budget proto cfg
         ~adversary:(make_adversary adversary) ~inputs
     in
     Option.iter (fun (path, s) -> Trace.Sink.close s;
@@ -142,9 +157,7 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
     | Ok o ->
         let agreement = Sim.Engine.agreed_decision o in
         if verbose then begin
-          Fmt.pr "protocol           : %s@."
-            (let module P = (val proto : Sim.Protocol_intf.S) in
-             P.name);
+          Fmt.pr "protocol           : %s@." proto_name;
           Fmt.pr "n / t / seed       : %d / %d / %d@." n t seed;
           Fmt.pr "adversary          : %s (faults used %d)@."
             (make_adversary adversary).Sim.Adversary_intf.name
@@ -505,18 +518,28 @@ let run_term =
       & opt inputs_conv `Mixed
       & info [ "inputs"; "i" ] ~doc:"Inputs: mixed, ones, zeros, random.")
   in
+  let legacy_engine =
+    Arg.(
+      value & flag
+      & info [ "legacy-engine" ]
+          ~doc:
+            "Run ported protocols through the list-based compatibility shim \
+             instead of the buffered engine path (results are bit-identical \
+             either way; this exists for comparison and debugging).")
+  in
   Term.(
     const (fun protocol n t x seed seeds adversary inputs bflags trace
-               trace_dir trace_format trace_tail ->
+               trace_dir trace_format trace_tail legacy_engine ->
         let t = match t with Some t -> t | None -> max 1 (n / 31) in
         run_cmd protocol n t x seed seeds adversary inputs bflags trace
-          trace_dir trace_format trace_tail)
+          trace_dir trace_format trace_tail legacy_engine)
     $ protocol $ n_arg $ t_arg $ x_arg $ seed_arg $ seeds_arg $ adversary
     $ inputs $ budget_term $ trace_flag $ trace_dir_arg $ trace_format_arg
     $ trace_tail_arg
         ~doc:
           "Keep the last $(docv) rounds of events; printed when a run fails \
-           or disagrees (0 = off).")
+           or disagrees (0 = off)."
+    $ legacy_engine)
 
 let graph_term =
   Term.(const graph_cmd $ n_arg $ delta_c_arg $ seed_arg)

@@ -30,94 +30,118 @@ type state = {
   mutable decided : int option;
 }
 
-let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
-  let module M = struct
-    type nonrec state = state
-    type nonrec msg = msg
+module M = struct
+  type nonrec state = state
+  type nonrec msg = msg
 
-    let name = "dolev-strong"
+  let name = "dolev-strong"
 
-    let init (cfg : Sim.Config.t) ~pid ~input =
-      let st =
-        {
-          pid;
-          n = cfg.n;
-          t_max = cfg.t_max;
-          accepted = Hashtbl.create 16;
-          to_relay = [];
-          decided = None;
-        }
-      in
-      Hashtbl.replace st.accepted pid [ input ];
-      st.to_relay <- [ (input, Auth.sign ~signer:pid ~payload:input ~chain:[]) ];
-      st
-
-    let accept st ~round ~value ~chain =
-      match Auth.origin chain with
-      | None -> ()
-      | Some origin ->
-          if
-            Auth.valid_chain ~payload:value chain
-            && Auth.length chain = round - 1
-            && not (List.mem st.pid (List.map Auth.signer chain))
-          then begin
-            let known =
-              match Hashtbl.find_opt st.accepted origin with
-              | Some vs -> vs
-              | None -> []
-            in
-            if (not (List.mem value known)) && List.length known < 2 then begin
-              Hashtbl.replace st.accepted origin (value :: known);
-              if round <= st.t_max + 1 then
-                st.to_relay <-
-                  (value, Auth.sign ~signer:st.pid ~payload:value ~chain)
-                  :: st.to_relay
-            end
-          end
-
-    let decide st =
-      (* per origin: a uniquely-attested value counts; equivocation (never
-         produced by omission faults) or silence contributes nothing *)
-      let c = [| 0; 0 |] in
-      Hashtbl.iter
-        (fun _ vs -> match vs with [ v ] -> c.(v) <- c.(v) + 1 | _ -> ())
-        st.accepted;
-      st.decided <- Some (if c.(1) > c.(0) then 1 else 0)
-
-    let step _cfg st ~round ~inbox ~rand:_ =
-      List.iter
-        (fun (_, Relay { value; chain }) -> accept st ~round ~value ~chain)
-        inbox;
-      if round > st.t_max + 1 then begin
-        if st.decided = None then decide st;
-        (st, [])
-      end
-      else begin
-        let out = ref [] in
-        List.iter
-          (fun (value, chain) ->
-            for dst = st.n - 1 downto 0 do
-              if dst <> st.pid then
-                out := (dst, Relay { value; chain }) :: !out
-            done)
-          st.to_relay;
-        st.to_relay <- [];
-        (st, !out)
-      end
-
-    let observe st =
+  let init (cfg : Sim.Config.t) ~pid ~input =
+    let st =
       {
-        Sim.View.candidate =
-          (match Hashtbl.find_opt st.accepted st.pid with
-          | Some [ v ] -> Some v
-          | _ -> None);
-        operative = true;
-        decided = st.decided;
+        pid;
+        n = cfg.n;
+        t_max = cfg.t_max;
+        accepted = Hashtbl.create 16;
+        to_relay = [];
+        decided = None;
       }
+    in
+    Hashtbl.replace st.accepted pid [ input ];
+    st.to_relay <- [ (input, Auth.sign ~signer:pid ~payload:input ~chain:[]) ];
+    st
 
-    let msg_bits (Relay { chain; _ }) = 2 + Auth.bits chain
-    let msg_hint (Relay { value; _ }) = Some value
-  end in
+  let accept st ~round ~value ~chain =
+    match Auth.origin chain with
+    | None -> ()
+    | Some origin ->
+        if
+          Auth.valid_chain ~payload:value chain
+          && Auth.length chain = round - 1
+          && not (List.mem st.pid (List.map Auth.signer chain))
+        then begin
+          let known =
+            match Hashtbl.find_opt st.accepted origin with
+            | Some vs -> vs
+            | None -> []
+          in
+          if (not (List.mem value known)) && List.length known < 2 then begin
+            Hashtbl.replace st.accepted origin (value :: known);
+            if round <= st.t_max + 1 then
+              st.to_relay <-
+                (value, Auth.sign ~signer:st.pid ~payload:value ~chain)
+                :: st.to_relay
+          end
+        end
+
+  let decide st =
+    (* per origin: a uniquely-attested value counts; equivocation (never
+       produced by omission faults) or silence contributes nothing *)
+    let c = [| 0; 0 |] in
+    Hashtbl.iter
+      (fun _ vs -> match vs with [ v ] -> c.(v) <- c.(v) + 1 | _ -> ())
+      st.accepted;
+    st.decided <- Some (if c.(1) > c.(0) then 1 else 0)
+
+  let step _cfg st ~round ~inbox ~rand:_ =
+    List.iter
+      (fun (_, Relay { value; chain }) -> accept st ~round ~value ~chain)
+      inbox;
+    if round > st.t_max + 1 then begin
+      if st.decided = None then decide st;
+      (st, [])
+    end
+    else begin
+      let out = ref [] in
+      List.iter
+        (fun (value, chain) ->
+          for dst = st.n - 1 downto 0 do
+            if dst <> st.pid then
+              out := (dst, Relay { value; chain }) :: !out
+          done)
+        st.to_relay;
+      st.to_relay <- [];
+      (st, !out)
+    end
+
+  let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+    Sim.Mailbox.iter inbox (fun _src (Relay { value; chain }) ->
+        accept st ~round ~value ~chain);
+    if round > st.t_max + 1 then begin
+      if st.decided = None then decide st;
+      st
+    end
+    else begin
+      (* acceptance order ([to_relay] is consed), one shared record per
+         relayed chain — matches the list path's emission order exactly *)
+      List.iter
+        (fun (value, chain) ->
+          let m = Relay { value; chain } in
+          for dst = 0 to st.n - 1 do
+            if dst <> st.pid then emit dst m
+          done)
+        (List.rev st.to_relay);
+      st.to_relay <- [];
+      st
+    end
+
+  let observe st =
+    {
+      Sim.View.candidate =
+        (match Hashtbl.find_opt st.accepted st.pid with
+        | Some [ v ] -> Some v
+        | _ -> None);
+      operative = true;
+      decided = st.decided;
+    }
+
+  let msg_bits (Relay { chain; _ }) = 2 + Auth.bits chain
+  let msg_hint (Relay { value; _ }) = Some value
+end
+
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t = (module M)
+
+let protocol_buffered (_cfg : Sim.Config.t) : Sim.Protocol_intf.buffered =
   (module M)
 
 let builder : Sim.Protocol_intf.builder =

@@ -23,63 +23,88 @@ type state = {
   mutable decided : int option;
 }
 
-let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
-  let module M = struct
-    type nonrec state = state
-    type nonrec msg = msg
+let some0 = Some 0
+let some1 = Some 1
 
-    let name = "flood-min"
+module M = struct
+  type nonrec state = state
+  type nonrec msg = msg
 
-    let init (cfg : Sim.Config.t) ~pid ~input =
-      {
-        pid;
-        n = cfg.n;
-        rounds = cfg.t_max + 1;
-        zero = input = 0;
-        one = input = 1;
-        sent_zero = false;
-        sent_one = false;
-        decided = None;
-      }
+  let name = "flood-min"
 
-    let step _cfg st ~round ~inbox ~rand:_ =
-      List.iter
-        (fun (_, Values { zero; one }) ->
-          if zero then st.zero <- true;
-          if one then st.one <- true)
-        inbox;
-      if round > st.rounds then begin
-        if st.decided = None then
-          st.decided <- Some (if st.zero then 0 else 1);
-        (st, [])
-      end
-      else begin
-        (* flood only newly learned values: O(1) amortized per link *)
-        let zero = st.zero && not st.sent_zero in
-        let one = st.one && not st.sent_one in
-        if zero then st.sent_zero <- true;
-        if one then st.sent_one <- true;
-        if zero || one then begin
-          let out = ref [] in
-          for dst = st.n - 1 downto 0 do
-            if dst <> st.pid then out := (dst, Values { zero; one }) :: !out
-          done;
-          (st, !out)
-        end
-        else (st, [])
-      end
+  let init (cfg : Sim.Config.t) ~pid ~input =
+    {
+      pid;
+      n = cfg.n;
+      rounds = cfg.t_max + 1;
+      zero = input = 0;
+      one = input = 1;
+      sent_zero = false;
+      sent_one = false;
+      decided = None;
+    }
 
-    let observe st =
-      {
-        Sim.View.candidate =
-          Some (if st.zero then 0 else if st.one then 1 else 0);
-        operative = true;
-        decided = st.decided;
-      }
+  (* The decide-or-flood core shared by both engine paths: past the
+     schedule, take the decision; inside it, return the newly learned
+     values to flood this round ([None] when there is nothing to send —
+     flooding only new values keeps the per-link traffic O(1) amortized). *)
+  let absorb st ~round =
+    if round > st.rounds then begin
+      if st.decided = None then st.decided <- Some (if st.zero then 0 else 1);
+      None
+    end
+    else begin
+      let zero = st.zero && not st.sent_zero in
+      let one = st.one && not st.sent_one in
+      if zero then st.sent_zero <- true;
+      if one then st.sent_one <- true;
+      if zero || one then Some (zero, one) else None
+    end
 
-    let msg_bits (Values _) = 2
-    let msg_hint (Values { zero; _ }) = Some (if zero then 0 else 1)
-  end in
+  let step _cfg st ~round ~inbox ~rand:_ =
+    List.iter
+      (fun (_, Values { zero; one }) ->
+        if zero then st.zero <- true;
+        if one then st.one <- true)
+      inbox;
+    match absorb st ~round with
+    | None -> (st, [])
+    | Some (zero, one) ->
+        let out = ref [] in
+        for dst = st.n - 1 downto 0 do
+          if dst <> st.pid then out := (dst, Values { zero; one }) :: !out
+        done;
+        (st, !out)
+
+  let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+    Sim.Mailbox.iter inbox (fun _src (Values { zero; one }) ->
+        if zero then st.zero <- true;
+        if one then st.one <- true);
+    (match absorb st ~round with
+    | None -> ()
+    | Some (zero, one) ->
+        (* one shared message record for the whole broadcast *)
+        let m = Values { zero; one } in
+        for dst = 0 to st.n - 1 do
+          if dst <> st.pid then emit dst m
+        done);
+    st
+
+  let observe st =
+    {
+      Sim.View.candidate =
+        (if st.zero then some0 else if st.one then some1 else some0);
+      operative = true;
+      decided = st.decided;
+    }
+
+  let msg_bits (Values _) = 2
+  let msg_hint (Values { zero; _ }) = if zero then some0 else some1
+end
+
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t = (module M)
+
+let protocol_buffered (_cfg : Sim.Config.t) : Sim.Protocol_intf.buffered =
   (module M)
 
 let builder : Sim.Protocol_intf.builder =

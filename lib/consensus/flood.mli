@@ -9,5 +9,9 @@ type msg
 
 val protocol : Sim.Config.t -> Sim.Protocol_intf.t
 
+val protocol_buffered : Sim.Config.t -> Sim.Protocol_intf.buffered
+(** Same state machine on the allocation-free [step_into] path: one shared
+    message record per broadcast instead of one per destination. *)
+
 val builder : Sim.Protocol_intf.builder
 (** Registry constructor: id ["flood"]; schedule bound [t_max + 3]. *)

@@ -30,8 +30,7 @@ let core_of = function
     (partition, expander, schedule) are computed once here — they are pure
     functions of (n, seed, params), which is how all processes agree on them
     without communication. *)
-let protocol ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) :
-    Sim.Protocol_intf.t =
+let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
   let members = Array.init cfg.Sim.Config.n (fun i -> i) in
   let shared =
     Core.make_shared ?vote_log ~members ~seed:cfg.Sim.Config.seed ~params
@@ -67,6 +66,32 @@ let protocol ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) :
           | None, Decided v -> Some v
           | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc)
         None inbox
+
+    (* Mailbox counterparts of the inbox filters: same (src, msg) pairs in
+       the same slot order as the list versions see them. *)
+    let core_inbox_mb inbox =
+      let acc = ref [] in
+      for i = Sim.Mailbox.length inbox - 1 downto 0 do
+        match Sim.Mailbox.msg inbox i with
+        | Core_msg cm -> acc := (Sim.Mailbox.peer inbox i, cm) :: !acc
+        | Pk_msg _ | Decided _ -> ()
+      done;
+      !acc
+
+    let pk_inbox_mb inbox =
+      let acc = ref [] in
+      for i = Sim.Mailbox.length inbox - 1 downto 0 do
+        match Sim.Mailbox.msg inbox i with
+        | Pk_msg pm -> acc := (Sim.Mailbox.peer inbox i, pm) :: !acc
+        | Core_msg _ | Decided _ -> ()
+      done;
+      !acc
+
+    let decided_inbox_mb inbox =
+      Sim.Mailbox.fold inbox ~init:None (fun acc _src m ->
+          match (acc, m) with
+          | None, Decided v -> Some v
+          | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc)
 
     let broadcast st m =
       let out = ref [] in
@@ -123,6 +148,61 @@ let protocol ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) :
           | Some v -> ({ st with phase = Done { core; value = v } }, [])
           | None -> (st, []))
 
+    (* Same state machine on the mailbox path; emission order mirrors the
+       list path branch by branch. *)
+    let step_into _cfg st ~round ~inbox ~rand ~emit =
+      match st.phase with
+      | Done _ -> st
+      | Voting core when round <= core_rounds ->
+          let msgs =
+            Core.step core ~slot:round ~inbox:(core_inbox_mb inbox) ~rand
+          in
+          List.iter (fun (dst, m) -> emit dst (Core_msg m)) msgs;
+          st
+      | Voting core -> (
+          (* round = core_rounds + 1: lines 15-16 *)
+          Core.finalize core ~inbox:(core_inbox_mb inbox);
+          match Core.line16_decision core with
+          | Some v -> { st with phase = Done { core; value = v } }
+          | None ->
+              if Core.operative core then begin
+                let pk =
+                  Phase_king.create ~n:cfg.Sim.Config.n
+                    ~t_max:cfg.Sim.Config.t_max ~pid:st.pid
+                    ~participating:true ~input:(Core.candidate core)
+                in
+                let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
+                List.iter (fun (dst, m) -> emit dst (Pk_msg m)) out;
+                { st with phase = Fallback { core; pk } }
+              end
+              else { st with phase = Waiting { core } })
+      | Fallback { core; pk } ->
+          let local_round = round - core_rounds - 1 in
+          if local_round <= pk_rounds - 1 then begin
+            let pk, out =
+              Phase_king.step pk ~local_round:(local_round + 1)
+                ~inbox:(pk_inbox_mb inbox)
+            in
+            List.iter (fun (dst, m) -> emit dst (Pk_msg m)) out;
+            { st with phase = Fallback { core; pk } }
+          end
+          else begin
+            (* line 18: agreement reached; broadcast and decide *)
+            let pk = Phase_king.finalize pk ~inbox:(pk_inbox_mb inbox) in
+            match Phase_king.decision pk with
+            | Some v ->
+                let m = Decided v in
+                for dst = 0 to cfg.Sim.Config.n - 1 do
+                  if dst <> st.pid then emit dst m
+                done;
+                { st with phase = Done { core; value = v } }
+            | None -> st
+          end
+      | Waiting { core } -> (
+          match decided_inbox_mb inbox with
+          | Some v -> { st with phase = Done { core; value = v } }
+          | None -> st)
+
     let observe st =
       let core = core_of st.phase in
       {
@@ -142,7 +222,14 @@ let protocol ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) :
       | Pk_msg (Phase_king.Value v) | Pk_msg (Phase_king.King v) -> Some v
       | Decided v -> Some v
   end in
-  (module M)
+  ((module M : Sim.Protocol_intf.S), (module M : Sim.Protocol_intf.BUFFERED))
+
+let protocol ?params ?vote_log (cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  fst (make ?params ?vote_log cfg)
+
+let protocol_buffered ?params ?vote_log (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.buffered =
+  snd (make ?params ?vote_log cfg)
 
 (** Rounds the full schedule can occupy (voting + fallback), for sizing
     [Config.max_rounds]. *)

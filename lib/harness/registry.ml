@@ -21,18 +21,29 @@ type entry = {
   max_t : int -> int;  (** n -> largest tolerated fault budget *)
   min_n : int;  (** smallest supported system size *)
   builder : Sim.Protocol_intf.builder;
+  buffered : (Sim.Config.t -> Sim.Protocol_intf.buffered) option;
+      (** allocation-free construction, for protocols ported to
+          [step_into] *)
 }
 
 let pp_model ppf m =
   Fmt.string ppf (match m with Crash -> "crash" | Omission -> "omission")
 
-let make ~model ~kind ~max_t ~min_n builder =
+let make ?buffered ~model ~kind ~max_t ~min_n builder =
   let module B = (val builder : Sim.Protocol_intf.BUILDER) in
-  { id = B.name; model; kind; max_t; min_n; builder }
+  { id = B.name; model; kind; max_t; min_n; builder; buffered }
 
 let build e cfg =
   let module B = (val e.builder : Sim.Protocol_intf.BUILDER) in
   B.build cfg
+
+(** The protocol on its preferred engine path: buffered when the entry has
+    been ported, the legacy list path (through the engine's shim) otherwise.
+    Both paths are bit-identical by the equivalence suite. *)
+let build_any e cfg =
+  match e.buffered with
+  | Some f -> Sim.Protocol_intf.Buffered (f cfg)
+  | None -> Sim.Protocol_intf.Legacy (build e cfg)
 
 let rounds_bound e cfg =
   let module B = (val e.builder : Sim.Protocol_intf.BUILDER) in
@@ -42,7 +53,8 @@ let all : entry list =
   [
     make ~model:Crash ~kind:Consensus
       ~max_t:(fun n -> n / 3)
-      ~min_n:2 Consensus.Flood.builder;
+      ~min_n:2 ~buffered:Consensus.Flood.protocol_buffered
+      Consensus.Flood.builder;
     make ~model:Crash ~kind:Consensus
       ~max_t:(fun n -> n / 4)
       ~min_n:2 Consensus.Early_stopping.builder;
@@ -56,13 +68,15 @@ let all : entry list =
       (Consensus.Crash_subquadratic.builder ());
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> n / 4)
-      ~min_n:2 Consensus.Dolev_strong.builder;
+      ~min_n:2 ~buffered:Consensus.Dolev_strong.protocol_buffered
+      Consensus.Dolev_strong.builder;
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> (n - 1) / 6)
       ~min_n:2 Consensus.Phase_king.builder;
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> n / 31)
       ~min_n:4
+      ~buffered:(fun cfg -> Consensus.Optimal_omissions.protocol_buffered cfg)
       (Consensus.Optimal_omissions.builder ());
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> n / 61)

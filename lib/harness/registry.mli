@@ -22,9 +22,13 @@ type entry = {
   max_t : int -> int;  (** n -> largest tolerated fault budget *)
   min_n : int;  (** smallest supported system size *)
   builder : Sim.Protocol_intf.builder;
+  buffered : (Sim.Config.t -> Sim.Protocol_intf.buffered) option;
+      (** allocation-free construction, for protocols ported to
+          [step_into] *)
 }
 
 val make :
+  ?buffered:(Sim.Config.t -> Sim.Protocol_intf.buffered) ->
   model:model ->
   kind:kind ->
   max_t:(int -> int) ->
@@ -35,6 +39,11 @@ val make :
 
 val build : entry -> Sim.Config.t -> Sim.Protocol_intf.t
 (** Instantiate the entry's protocol for a configuration. *)
+
+val build_any : entry -> Sim.Config.t -> Sim.Protocol_intf.any
+(** Instantiate on the protocol's preferred engine path: buffered when
+    ported, legacy otherwise. The equivalence suite keeps the two paths
+    bit-identical. *)
 
 val rounds_bound : entry -> Sim.Config.t -> int
 (** Schedule length to use as [max_rounds]; termination is expected within

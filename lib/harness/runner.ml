@@ -165,8 +165,12 @@ let check_broadcast (s : Scenario.t) ~source ~final_operative
 (** Run one protocol on a scenario. [checked] in the result says whether
     the consensus/broadcast properties were asserted (the protocol's model
     covers the strategy) — the metric invariants are always asserted.
-    [trace], if given, receives the run's engine event stream. *)
-let run_entry ?trace (entry : Registry.entry) (s : Scenario.t) : run_result =
+    [trace], if given, receives the run's engine event stream. Ported
+    protocols run on the buffered engine path unless [force_legacy] pins
+    them to the list-based shim (the equivalence suite uses this to compare
+    the two). *)
+let run_entry ?trace ?(force_legacy = false) (entry : Registry.entry)
+    (s : Scenario.t) : run_result =
   let checked = Registry.in_model entry s in
   let cfg = config_for entry s in
   let source =
@@ -177,8 +181,12 @@ let run_entry ?trace (entry : Registry.entry) (s : Scenario.t) : run_result =
   let adversary, final_operative, source_operative =
     probed_adversary s.Scenario.strategy ~source
   in
+  let protocol =
+    if force_legacy then Sim.Protocol_intf.Legacy (Registry.build entry cfg)
+    else Registry.build_any entry cfg
+  in
   match
-    Sim.Engine.run ?trace (Registry.build entry cfg) cfg ~adversary
+    Sim.Engine.run_any ?trace protocol cfg ~adversary
       ~inputs:s.Scenario.inputs
   with
   | exception e ->

@@ -32,9 +32,15 @@ val config_for : Registry.entry -> Scenario.t -> Sim.Config.t
     to the entry's tolerance, the entry's schedule bound as [max_rounds]. *)
 
 val run_entry :
-  ?trace:Trace.Sink.t -> Registry.entry -> Scenario.t -> run_result
+  ?trace:Trace.Sink.t ->
+  ?force_legacy:bool ->
+  Registry.entry ->
+  Scenario.t ->
+  run_result
 (** Run one protocol on a scenario. [trace], if given, receives the run's
-    engine event stream (see {!Sim.Engine.run}). *)
+    engine event stream (see {!Sim.Engine.run}). Ported protocols run on
+    the buffered engine path unless [force_legacy] pins them to the
+    list-based shim. *)
 
 val run :
   ?protocols:Registry.entry list ->

@@ -13,7 +13,15 @@
       of the next round.
 
     The engine enforces the model: omissions between two non-faulty
-    processes, or corruptions beyond the budget, raise {!Illegal_plan}. *)
+    processes, or corruptions beyond the budget, raise {!Illegal_plan}.
+
+    Allocation discipline: the hot path runs on reusable buffers — per-pid
+    {!Mailbox.t} outboxes/inboxes reset by count, an envelope arena sized to
+    the high-water mark whose records are refreshed in place, one adversary
+    {!View.t} whose observation and fault-snapshot arrays are reused across
+    rounds, and a single derived random stream reseeded per step. Steady
+    state allocates O(n) words per round (fresh [obs_core] observations)
+    instead of O(messages). *)
 
 exception Illegal_plan of string
 
@@ -58,276 +66,431 @@ type tracer = {
 }
 
 let all_nonfaulty_decided outcome =
+  let n = Array.length outcome.decisions in
   let ok = ref true in
-  Array.iteri
-    (fun pid d ->
-      if (not outcome.faulty.(pid)) && d = None then ok := false)
-    outcome.decisions;
+  let pid = ref 0 in
+  while !ok && !pid < n do
+    if (not outcome.faulty.(!pid)) && outcome.decisions.(!pid) = None then
+      ok := false;
+    incr pid
+  done;
   !ok
 
 (** Decision of the non-faulty processes if they agree, [None] otherwise. *)
 let agreed_decision outcome =
+  let n = Array.length outcome.decisions in
   let value = ref None and ok = ref true in
-  Array.iteri
-    (fun pid d ->
-      if not outcome.faulty.(pid) then
-        match (d, !value) with
-        | None, _ -> ok := false
-        | Some v, None -> value := Some v
-        | Some v, Some w -> if v <> w then ok := false)
-    outcome.decisions;
+  let pid = ref 0 in
+  while !ok && !pid < n do
+    if not outcome.faulty.(!pid) then
+      (match (outcome.decisions.(!pid), !value) with
+      | None, _ -> ok := false
+      | Some v, None -> value := Some v
+      | Some v, Some w -> if v <> w then ok := false);
+    incr pid
+  done;
   if !ok then !value else None
 
-(** [run protocol cfg ~adversary ~inputs] executes a full run. [on_round],
-    if given, is called once per round with the round's envelopes (before
-    the adversary intervenes) — benches use it to trace per-slot traffic.
+(** A reusable engine instance: every buffer the round loop needs —
+    mailboxes, envelope arena, adversary view, omission scratch — allocated
+    once and reused across runs. Benches and sweeps that execute many runs
+    of the same (protocol, cfg) pair amortise the buffer construction away;
+    runs through an instance are bit-identical to fresh {!run_buffered}
+    runs because every run resets all per-run state before its first
+    round. *)
+type instance = {
+  run_i :
+    ?on_round:(round:int -> View.envelope array -> unit) ->
+    ?stop:(progress -> bool) ->
+    ?trace:Trace.Sink.t ->
+    adversary:Adversary_intf.t ->
+    inputs:int array ->
+    unit ->
+    outcome;
+}
+
+(* The engine proper, written against the buffered protocol interface; the
+   list-based [run] below routes legacy protocols through the shim. Event
+   and metric ordering deliberately reproduces the original list-based
+   engine bit for bit:
+   - the envelope array groups senders in ascending pid order, and within a
+     sender lists messages in *reverse* emission order (the old engine
+     consed each outbox onto an accumulator);
+   - omission decisions, metric counters and Omit/Deliver events run per
+     sender in ascending pid order and *forward* emission order (the old
+     delivery loop walked the outbox lists head-first);
+   - inboxes arrive sorted by ascending sender, equal senders keeping
+     reverse emission order (cons-then-stable-sort in the old engine; here
+     the delivery pass pushes survivors back-to-front so the mailbox comes
+     out already sorted). *)
+let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
+  let n = cfg.n in
+  let inboxes : P.msg Mailbox.t array =
+    Array.init n (fun _ -> Mailbox.create ~hint:n ())
+  in
+  let outboxes : P.msg Mailbox.t array =
+    Array.init n (fun _ -> Mailbox.create ~hint:n ())
+  in
+  (* One emit closure per sender, allocated once. *)
+  let emits =
+    Array.init n (fun pid ->
+        let ob = outboxes.(pid) in
+        fun dst m -> Mailbox.push ob ~peer:dst m)
+  in
+  let faulty = Array.make n false in
+  let used_randomness = Array.make n false in
+  (* Envelope arena: grow-only record pool refreshed in place each round.
+     [arena_ensure] grows straight to a known round total so a heavy round
+     costs one allocation, not a doubling cascade. *)
+  let arena = ref ([||] : View.envelope array) in
+  let arena_len = ref 0 in
+  let arena_ensure total =
+    let cap = Array.length !arena in
+    if total > cap then begin
+      let cap' = max total (2 * cap) in
+      arena :=
+        Array.init cap' (fun i ->
+            if i < cap then (!arena).(i)
+            else { View.src = 0; dst = 0; bits = 0; hint = None })
+    end
+  in
+  let arena_push src dst bits hint =
+    if !arena_len = Array.length !arena then arena_ensure (!arena_len + 1);
+    let e = (!arena).(!arena_len) in
+    e.View.src <- src;
+    e.dst <- dst;
+    e.bits <- bits;
+    e.hint <- hint;
+    incr arena_len
+  in
+  (* Exact-length window over the arena handed to the adversary / [on_round];
+     rebuilt only when the round's message count changes (arena growth keeps
+     record identity for retained slots, so a cached window stays valid). *)
+  let exact = ref ([||] : View.envelope array) in
+  let arena_window () =
+    if !arena_len = 0 then [||] (* the static empty atom, no allocation *)
+    else if !arena_len = Array.length !arena then !arena
+    else begin
+      if Array.length !exact <> !arena_len then
+        exact := Array.sub !arena 0 !arena_len;
+      !exact
+    end
+  in
+  (* The single adversary view, refreshed in place each round. *)
+  let view_obs =
+    Array.init n (fun pid ->
+        {
+          View.pid;
+          core = { View.candidate = None; operative = false; decided = None };
+          used_randomness = false;
+        })
+  in
+  let view =
+    {
+      View.round = 0;
+      cfg;
+      faulty = Array.make n false;
+      faults_used = 0;
+      obs = view_obs;
+      envelopes = [||];
+    }
+  in
+  (* Per-sender omission flags, grown to the largest outbox seen. *)
+  let omit_scratch = ref Bytes.empty in
+  let run_i ?on_round ?stop ?trace ~(adversary : Adversary_intf.t)
+      ~(inputs : int array) () : outcome =
+    if Array.length inputs <> n then
+      invalid_arg "Engine.run: inputs length must equal n";
+    Array.iter
+      (fun b ->
+        if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be bits")
+      inputs;
+    let counter = Rand.Counter.create () in
+    let root = Rand.create ~counter ~seed:(Int64.of_int cfg.seed) () in
+    (* One scratch stream, reseeded per step; shares [root]'s counter. *)
+    let step_rand = Rand.derive root 0 in
+    let adv_rand = Rand.create ~seed:(Int64.of_int (cfg.seed + 0x5eed)) () in
+    let adv = adversary.create cfg adv_rand in
+    let states = Array.init n (fun pid -> P.init cfg ~pid ~input:inputs.(pid)) in
+    Array.iter Mailbox.clear inboxes;
+    Array.iter Mailbox.clear outboxes;
+    Array.fill faulty 0 n false;
+    Array.fill used_randomness 0 n false;
+    let faults_used = ref 0 in
+    let messages_sent = ref 0 in
+    let bits_sent = ref 0 in
+    let messages_omitted = ref 0 in
+    let decided_round = ref None in
+    let rounds_total = ref 0 in
+    let tr =
+      match trace with
+      | None -> None
+      | Some sink ->
+          Some
+            {
+              sink;
+              prev_operative =
+                Array.init n (fun pid -> (P.observe states.(pid)).operative);
+              prev_candidate =
+                Array.init n (fun pid -> (P.observe states.(pid)).candidate);
+              prev_decided =
+                Array.init n (fun pid -> (P.observe states.(pid)).decided);
+              r0_messages = 0;
+              r0_bits = 0;
+              r0_omitted = 0;
+              r0_rand_calls = 0;
+              r0_rand_bits = 0;
+            }
+    in
+    let round = ref 1 in
+    let stop_flag = ref false in
+    while (not !stop_flag) && !round <= cfg.max_rounds do
+      let r = !round in
+      rounds_total := r;
+      (match tr with
+      | None -> ()
+      | Some t ->
+          t.r0_messages <- !messages_sent;
+          t.r0_bits <- !bits_sent;
+          t.r0_omitted <- !messages_omitted;
+          t.r0_rand_calls <- Rand.Counter.calls counter;
+          t.r0_rand_bits <- Rand.Counter.bits counter;
+          Trace.Sink.emit t.sink (Trace.Event.Round_start { round = r }));
+      (* Phase 1: local computation. *)
+      for pid = 0 to n - 1 do
+        let calls_before = Rand.Counter.calls counter in
+        let bits_before = Rand.Counter.bits counter in
+        Mailbox.clear outboxes.(pid);
+        Rand.derive_into ~into:step_rand root ((r * n) + pid);
+        let state' =
+          P.step_into cfg states.(pid) ~round:r ~inbox:inboxes.(pid)
+            ~rand:step_rand ~emit:emits.(pid)
+        in
+        states.(pid) <- state';
+        used_randomness.(pid) <- Rand.Counter.calls counter > calls_before;
+        Mailbox.clear inboxes.(pid);
+        match tr with
+        | None -> ()
+        | Some t ->
+            let calls_after = Rand.Counter.calls counter in
+            if calls_after > calls_before then
+              Trace.Sink.emit t.sink
+                (Trace.Event.Coin
+                   {
+                     round = r;
+                     pid;
+                     calls = calls_after - calls_before;
+                     bits = Rand.Counter.bits counter - bits_before;
+                   });
+            let obs = P.observe states.(pid) in
+            if
+              obs.operative <> t.prev_operative.(pid)
+              || obs.candidate <> t.prev_candidate.(pid)
+            then begin
+              t.prev_operative.(pid) <- obs.operative;
+              t.prev_candidate.(pid) <- obs.candidate;
+              Trace.Sink.emit t.sink
+                (Trace.Event.Phase
+                   {
+                     round = r;
+                     pid;
+                     operative = obs.operative;
+                     candidate = obs.candidate;
+                   })
+            end;
+            (match (t.prev_decided.(pid), obs.decided) with
+            | None, Some v ->
+                t.prev_decided.(pid) <- Some v;
+                Trace.Sink.emit t.sink
+                  (Trace.Event.Decide { round = r; pid; value = v })
+            | _ -> ())
+      done;
+      (* Termination is detected on the local phase: deciding is a local act. *)
+      let everyone_decided = ref true in
+      let pid = ref 0 in
+      while !everyone_decided && !pid < n do
+        if (not faulty.(!pid)) && (P.observe states.(!pid)).decided = None then
+          everyone_decided := false;
+        incr pid
+      done;
+      if !everyone_decided && !decided_round = None then decided_round := Some r;
+      (* Phase 2: adversary intervention. Fill the arena sender by sender,
+         each outbox walked back-to-front (see the ordering note above). The
+         round total is known up front, so the arena grows in one step. *)
+      arena_len := 0;
+      let total = ref 0 in
+      for pid = 0 to n - 1 do
+        total := !total + Mailbox.length outboxes.(pid)
+      done;
+      arena_ensure !total;
+      for pid = 0 to n - 1 do
+        let ob = outboxes.(pid) in
+        for i = Mailbox.length ob - 1 downto 0 do
+          let dst = Mailbox.peer ob i in
+          if dst < 0 || dst >= n then
+            invalid_arg "Engine.run: message to out-of-range pid";
+          let m = Mailbox.msg ob i in
+          arena_push pid dst (max 1 (P.msg_bits m)) (P.msg_hint m)
+        done
+      done;
+      let envelopes = arena_window () in
+      view.View.round <- r;
+      Array.blit faulty 0 view.View.faulty 0 n;
+      view.View.faults_used <- !faults_used;
+      for pid = 0 to n - 1 do
+        let o = view_obs.(pid) in
+        o.View.core <- P.observe states.(pid);
+        o.View.used_randomness <- used_randomness.(pid)
+      done;
+      view.View.envelopes <- envelopes;
+      (match on_round with Some f -> f ~round:r envelopes | None -> ());
+      (match tr with
+      | None -> ()
+      | Some t ->
+          Array.iter
+            (fun (e : View.envelope) ->
+              Trace.Sink.emit t.sink
+                (Trace.Event.Send
+                   { round = r; src = e.src; dst = e.dst; bits = e.bits;
+                     hint = e.hint }))
+            envelopes);
+      let plan = adv view in
+      List.iter
+        (fun pid ->
+          if pid < 0 || pid >= n then illegal "corruption of out-of-range pid %d" pid;
+          if not faulty.(pid) then begin
+            if !faults_used >= cfg.t_max then
+              illegal "corruption budget t=%d exceeded at round %d" cfg.t_max r;
+            faulty.(pid) <- true;
+            incr faults_used;
+            match tr with
+            | None -> ()
+            | Some t ->
+                Trace.Sink.emit t.sink (Trace.Event.Corrupt { round = r; pid })
+          end)
+        plan.new_faults;
+      (* Phase 3: communication. Omitted messages still count as sent: the
+         sender transmitted them; the adversary suppressed delivery. The
+         forward pass decides omissions (in emission order — omission
+         predicates may draw randomness per call); the backward pass pushes
+         survivors so each destination mailbox comes out sorted by sender. *)
+      for pid = 0 to n - 1 do
+        let ob = outboxes.(pid) in
+        let len = Mailbox.length ob in
+        if len > 0 then begin
+          if Bytes.length !omit_scratch < len then
+            omit_scratch := Bytes.create len;
+          let om = !omit_scratch in
+          for i = 0 to len - 1 do
+            let dst = Mailbox.peer ob i in
+            incr messages_sent;
+            bits_sent := !bits_sent + max 1 (P.msg_bits (Mailbox.msg ob i));
+            if plan.omit pid dst then begin
+              if (not faulty.(pid)) && not faulty.(dst) then
+                illegal "omission between non-faulty %d -> %d at round %d" pid
+                  dst r;
+              incr messages_omitted;
+              Bytes.unsafe_set om i '\001';
+              match tr with
+              | None -> ()
+              | Some t ->
+                  Trace.Sink.emit t.sink
+                    (Trace.Event.Omit { round = r; src = pid; dst })
+            end
+            else begin
+              Bytes.unsafe_set om i '\000';
+              match tr with
+              | None -> ()
+              | Some t ->
+                  Trace.Sink.emit t.sink
+                    (Trace.Event.Deliver { round = r; src = pid; dst })
+            end
+          done;
+          for i = len - 1 downto 0 do
+            if Bytes.unsafe_get om i = '\000' then
+              Mailbox.push inboxes.(Mailbox.peer ob i) ~peer:pid (Mailbox.msg ob i)
+          done
+        end
+      done;
+      (* Already sorted by construction; O(n) verification pass keeps the
+         sorted-inbox contract explicit. *)
+      for pid = 0 to n - 1 do
+        Mailbox.sort_by_peer inboxes.(pid)
+      done;
+      (match tr with
+      | None -> ()
+      | Some t ->
+          Trace.Sink.emit t.sink
+            (Trace.Event.Round_end
+               {
+                 round = r;
+                 messages = !messages_sent - t.r0_messages;
+                 bits = !bits_sent - t.r0_bits;
+                 omitted = !messages_omitted - t.r0_omitted;
+                 rand_calls = Rand.Counter.calls counter - t.r0_rand_calls;
+                 rand_bits = Rand.Counter.bits counter - t.r0_rand_bits;
+               }));
+      if !decided_round <> None then stop_flag := true;
+      (match stop with
+      | None -> ()
+      | Some f ->
+          if
+            (not !stop_flag)
+            && f
+                 {
+                   p_round = r;
+                   p_messages = !messages_sent;
+                   p_bits = !bits_sent;
+                   p_rand_calls = Rand.Counter.calls counter;
+                   p_rand_bits = Rand.Counter.bits counter;
+                 }
+          then stop_flag := true);
+      incr round
+    done;
+    {
+      decisions = Array.map (fun s -> (P.observe s).decided) states;
+      faulty;
+      rounds_total = !rounds_total;
+      decided_round = !decided_round;
+      messages_sent = !messages_sent;
+      bits_sent = !bits_sent;
+      messages_omitted = !messages_omitted;
+      rand_calls = Rand.Counter.calls counter;
+      rand_bits = Rand.Counter.bits counter;
+      faults_used = !faults_used;
+    }
+  in
+  { run_i }
+
+(** Execute one run through a reusable {!instance}. *)
+let run_instance ?on_round ?stop ?trace (i : instance)
+    ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
+  i.run_i ?on_round ?stop ?trace ~adversary ~inputs ()
+
+(** [run protocol cfg ~adversary ~inputs] executes a full run of a
+    list-based protocol through the compatibility shim. [on_round], if
+    given, is called once per round with the round's envelopes (before the
+    adversary intervenes) — benches use it to trace per-slot traffic.
     [stop], if given, is consulted at the end of every round with the
     cumulative metric counters; returning [true] ends the run exactly as
     hitting [max_rounds] would — the supervision layer uses it to extend
     the [max_rounds] semantics to message/randomness/wall-clock budgets. *)
 let run ?on_round ?stop ?trace (module P : Protocol_intf.S) (cfg : Config.t)
     ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
-  let n = cfg.n in
-  if Array.length inputs <> n then
-    invalid_arg "Engine.run: inputs length must equal n";
-  Array.iter
-    (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be bits")
-    inputs;
-  let counter = Rand.Counter.create () in
-  let root = Rand.create ~counter ~seed:(Int64.of_int cfg.seed) () in
-  let adv_rand = Rand.create ~seed:(Int64.of_int (cfg.seed + 0x5eed)) () in
-  let adv = adversary.create cfg adv_rand in
-  let states = Array.init n (fun pid -> P.init cfg ~pid ~input:inputs.(pid)) in
-  let inboxes : (int * P.msg) list array = Array.make n [] in
-  let faulty = Array.make n false in
-  let faults_used = ref 0 in
-  let messages_sent = ref 0 in
-  let bits_sent = ref 0 in
-  let messages_omitted = ref 0 in
-  let decided_round = ref None in
-  let rounds_total = ref 0 in
-  let used_randomness = Array.make n false in
-  (* Outboxes of the current round, indexed by sender. *)
-  let outboxes : (int * P.msg) list array = Array.make n [] in
-  let tr =
-    match trace with
-    | None -> None
-    | Some sink ->
-        Some
-          {
-            sink;
-            prev_operative =
-              Array.init n (fun pid -> (P.observe states.(pid)).operative);
-            prev_candidate =
-              Array.init n (fun pid -> (P.observe states.(pid)).candidate);
-            prev_decided =
-              Array.init n (fun pid -> (P.observe states.(pid)).decided);
-            r0_messages = 0;
-            r0_bits = 0;
-            r0_omitted = 0;
-            r0_rand_calls = 0;
-            r0_rand_bits = 0;
-          }
-  in
-  let round = ref 1 in
-  let stop_flag = ref false in
-  while (not !stop_flag) && !round <= cfg.max_rounds do
-    let r = !round in
-    rounds_total := r;
-    (match tr with
-    | None -> ()
-    | Some t ->
-        t.r0_messages <- !messages_sent;
-        t.r0_bits <- !bits_sent;
-        t.r0_omitted <- !messages_omitted;
-        t.r0_rand_calls <- Rand.Counter.calls counter;
-        t.r0_rand_bits <- Rand.Counter.bits counter;
-        Trace.Sink.emit t.sink (Trace.Event.Round_start { round = r }));
-    (* Phase 1: local computation. *)
-    for pid = 0 to n - 1 do
-      let calls_before = Rand.Counter.calls counter in
-      let bits_before = Rand.Counter.bits counter in
-      let state', out =
-        P.step cfg states.(pid) ~round:r ~inbox:inboxes.(pid)
-          ~rand:(Rand.derive root ((r * n) + pid))
-      in
-      states.(pid) <- state';
-      outboxes.(pid) <- out;
-      used_randomness.(pid) <- Rand.Counter.calls counter > calls_before;
-      inboxes.(pid) <- [];
-      match tr with
-      | None -> ()
-      | Some t ->
-          let calls_after = Rand.Counter.calls counter in
-          if calls_after > calls_before then
-            Trace.Sink.emit t.sink
-              (Trace.Event.Coin
-                 {
-                   round = r;
-                   pid;
-                   calls = calls_after - calls_before;
-                   bits = Rand.Counter.bits counter - bits_before;
-                 });
-          let obs = P.observe states.(pid) in
-          if
-            obs.operative <> t.prev_operative.(pid)
-            || obs.candidate <> t.prev_candidate.(pid)
-          then begin
-            t.prev_operative.(pid) <- obs.operative;
-            t.prev_candidate.(pid) <- obs.candidate;
-            Trace.Sink.emit t.sink
-              (Trace.Event.Phase
-                 {
-                   round = r;
-                   pid;
-                   operative = obs.operative;
-                   candidate = obs.candidate;
-                 })
-          end;
-          (match (t.prev_decided.(pid), obs.decided) with
-          | None, Some v ->
-              t.prev_decided.(pid) <- Some v;
-              Trace.Sink.emit t.sink
-                (Trace.Event.Decide { round = r; pid; value = v })
-          | _ -> ())
-    done;
-    (* Termination is detected on the local phase: deciding is a local act. *)
-    let everyone_decided = ref true in
-    for pid = 0 to n - 1 do
-      if (not faulty.(pid)) && (P.observe states.(pid)).decided = None then
-        everyone_decided := false
-    done;
-    if !everyone_decided && !decided_round = None then decided_round := Some r;
-    (* Phase 2: adversary intervention. *)
-    let envelopes =
-      let acc = ref [] in
-      for pid = n - 1 downto 0 do
-        List.iter
-          (fun (dst, m) ->
-            if dst < 0 || dst >= n then
-              invalid_arg "Engine.run: message to out-of-range pid";
-            acc :=
-              { View.src = pid; dst; bits = max 1 (P.msg_bits m);
-                hint = P.msg_hint m }
-              :: !acc)
-          outboxes.(pid)
-      done;
-      Array.of_list !acc
-    in
-    let view =
-      {
-        View.round = r;
-        cfg;
-        faulty = Array.copy faulty;
-        faults_used = !faults_used;
-        obs =
-          Array.init n (fun pid ->
-              {
-                View.pid;
-                core = P.observe states.(pid);
-                used_randomness = used_randomness.(pid);
-              });
-        envelopes;
-      }
-    in
-    (match on_round with Some f -> f ~round:r envelopes | None -> ());
-    (match tr with
-    | None -> ()
-    | Some t ->
-        Array.iter
-          (fun (e : View.envelope) ->
-            Trace.Sink.emit t.sink
-              (Trace.Event.Send
-                 { round = r; src = e.src; dst = e.dst; bits = e.bits;
-                   hint = e.hint }))
-          envelopes);
-    let plan = adv view in
-    List.iter
-      (fun pid ->
-        if pid < 0 || pid >= n then illegal "corruption of out-of-range pid %d" pid;
-        if not faulty.(pid) then begin
-          if !faults_used >= cfg.t_max then
-            illegal "corruption budget t=%d exceeded at round %d" cfg.t_max r;
-          faulty.(pid) <- true;
-          incr faults_used;
-          match tr with
-          | None -> ()
-          | Some t ->
-              Trace.Sink.emit t.sink (Trace.Event.Corrupt { round = r; pid })
-        end)
-      plan.new_faults;
-    (* Phase 3: communication. Omitted messages still count as sent: the
-       sender transmitted them; the adversary suppressed delivery. *)
-    for pid = 0 to n - 1 do
-      List.iter
-        (fun (dst, m) ->
-          incr messages_sent;
-          bits_sent := !bits_sent + max 1 (P.msg_bits m);
-          if plan.omit pid dst then begin
-            if (not faulty.(pid)) && not faulty.(dst) then
-              illegal "omission between non-faulty %d -> %d at round %d" pid
-                dst r;
-            incr messages_omitted;
-            match tr with
-            | None -> ()
-            | Some t ->
-                Trace.Sink.emit t.sink
-                  (Trace.Event.Omit { round = r; src = pid; dst })
-          end
-          else begin
-            inboxes.(dst) <- (pid, m) :: inboxes.(dst);
-            match tr with
-            | None -> ()
-            | Some t ->
-                Trace.Sink.emit t.sink
-                  (Trace.Event.Deliver { round = r; src = pid; dst })
-          end)
-        outboxes.(pid);
-      outboxes.(pid) <- []
-    done;
-    for pid = 0 to n - 1 do
-      inboxes.(pid) <-
-        List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(pid)
-    done;
-    (match tr with
-    | None -> ()
-    | Some t ->
-        Trace.Sink.emit t.sink
-          (Trace.Event.Round_end
-             {
-               round = r;
-               messages = !messages_sent - t.r0_messages;
-               bits = !bits_sent - t.r0_bits;
-               omitted = !messages_omitted - t.r0_omitted;
-               rand_calls = Rand.Counter.calls counter - t.r0_rand_calls;
-               rand_bits = Rand.Counter.bits counter - t.r0_rand_bits;
-             }));
-    if !decided_round <> None then stop_flag := true;
-    (match stop with
-    | None -> ()
-    | Some f ->
-        if
-          (not !stop_flag)
-          && f
-               {
-                 p_round = r;
-                 p_messages = !messages_sent;
-                 p_bits = !bits_sent;
-                 p_rand_calls = Rand.Counter.calls counter;
-                 p_rand_bits = Rand.Counter.bits counter;
-               }
-        then stop_flag := true);
-    incr round
-  done;
-  {
-    decisions = Array.map (fun s -> (P.observe s).decided) states;
-    faulty;
-    rounds_total = !rounds_total;
-    decided_round = !decided_round;
-    messages_sent = !messages_sent;
-    bits_sent = !bits_sent;
-    messages_omitted = !messages_omitted;
-    rand_calls = Rand.Counter.calls counter;
-    rand_bits = Rand.Counter.bits counter;
-    faults_used = !faults_used;
-  }
+  let i = instance (module Protocol_intf.Shim (P)) cfg in
+  i.run_i ?on_round ?stop ?trace ~adversary ~inputs ()
+
+(** Run a buffered protocol on the allocation-free path directly. *)
+let run_buffered ?on_round ?stop ?trace (p : Protocol_intf.buffered)
+    (cfg : Config.t) ~(adversary : Adversary_intf.t) ~(inputs : int array) :
+    outcome =
+  let i = instance p cfg in
+  i.run_i ?on_round ?stop ?trace ~adversary ~inputs ()
+
+(** Dispatch on whichever path the protocol supports. *)
+let run_any ?on_round ?stop ?trace (p : Protocol_intf.any) (cfg : Config.t)
+    ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
+  match p with
+  | Protocol_intf.Legacy p -> run ?on_round ?stop ?trace p cfg ~adversary ~inputs
+  | Protocol_intf.Buffered p ->
+      run_buffered ?on_round ?stop ?trace p cfg ~adversary ~inputs

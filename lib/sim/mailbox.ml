@@ -1,0 +1,96 @@
+(** Grow-only message buffer — the flat struct-of-arrays replacement for
+    the engine's per-process [(src, msg) list] mailboxes.
+
+    A mailbox holds parallel [peers]/[msgs] arrays plus a length; {!clear}
+    resets the length without touching the arrays, so a buffer reused
+    across rounds allocates only until it reaches its high-water mark.
+    Slots beyond [length] keep their old contents (and thus keep old
+    messages alive) until overwritten — the retained memory is bounded by
+    the largest round ever buffered, which is exactly the arena semantics
+    the engine wants.
+
+    The [peer] of a slot is the destination pid for outboxes and the
+    source pid for inboxes. Readers must treat a mailbox as valid only for
+    the duration of the call that received it: the engine clears and
+    refills these buffers every round. *)
+
+type 'm t = {
+  mutable peers : int array;
+  mutable msgs : 'm array;
+  mutable len : int;
+  hint : int;  (** first-growth capacity (e.g. n for per-process buffers) *)
+}
+
+let create ?(hint = 0) () = { peers = [||]; msgs = [||]; len = 0; hint }
+let length t = t.len
+let clear t = t.len <- 0
+
+let peer t i =
+  if i < 0 || i >= t.len then invalid_arg "Mailbox.peer: index out of bounds";
+  t.peers.(i)
+
+let msg t i =
+  if i < 0 || i >= t.len then invalid_arg "Mailbox.msg: index out of bounds";
+  t.msgs.(i)
+
+(* The msgs array needs a seed element to exist; it is created lazily from
+   the first message pushed, so the type stays fully polymorphic without an
+   [Obj.magic] or a per-protocol dummy. *)
+let grow t m =
+  let cap = Array.length t.peers in
+  let cap' = if cap = 0 then max t.hint 16 else 2 * cap in
+  let peers' = Array.make cap' 0 in
+  let msgs' = Array.make cap' m in
+  Array.blit t.peers 0 peers' 0 t.len;
+  Array.blit t.msgs 0 msgs' 0 t.len;
+  t.peers <- peers';
+  t.msgs <- msgs'
+
+let push t ~peer m =
+  if t.len = Array.length t.peers then grow t m;
+  t.peers.(t.len) <- peer;
+  t.msgs.(t.len) <- m;
+  t.len <- t.len + 1
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.peers.(i) t.msgs.(i)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.peers.(i) t.msgs.(i)
+  done;
+  !acc
+
+(** The buffer's contents as the legacy [(peer, msg)] list, in slot order —
+    what the list-based {!Protocol_intf.S.step} compatibility shim feeds to
+    unported protocols. *)
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := (t.peers.(i), t.msgs.(i)) :: !acc
+  done;
+  !acc
+
+(** Stable in-place insertion sort by ascending [peer] — the monomorphic
+    replacement for the engine's old [List.sort (fun (a,_) (b,_) ->
+    compare a b)]: same ascending-peer order, equal peers keep their
+    relative slot order (duplicates preserved). Runs in O(len) when the
+    buffer is already sorted, which is the engine's steady state. *)
+let sort_by_peer t =
+  for i = 1 to t.len - 1 do
+    let p = t.peers.(i) in
+    if t.peers.(i - 1) > p then begin
+      let m = t.msgs.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && t.peers.(!j) > p do
+        t.peers.(!j + 1) <- t.peers.(!j);
+        t.msgs.(!j + 1) <- t.msgs.(!j);
+        decr j
+      done;
+      t.peers.(!j + 1) <- p;
+      t.msgs.(!j + 1) <- m
+    end
+  done

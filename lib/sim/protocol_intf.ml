@@ -43,6 +43,65 @@ end
 
 type t = (module S)
 
+(** Allocation-free variant of {!S}: the engine hands the protocol its inbox
+    as a reusable {!Mailbox.t} and an [emit] sink for outgoing messages, so
+    the hot path builds no list cells. [step_into] must emit messages in the
+    same order the list-based [step] would have returned them; the engine's
+    equivalence suite holds protocols to that contract. Protocols that have
+    not been ported run through {!Shim}. *)
+module type BUFFERED = sig
+  type state
+  type msg
+
+  val name : string
+  val init : Config.t -> pid:int -> input:int -> state
+
+  val step_into :
+    Config.t ->
+    state ->
+    round:int ->
+    inbox:msg Mailbox.t ->
+    rand:Rand.t ->
+    emit:(int -> msg -> unit) ->
+    state
+  (** Local-computation phase of [round]. [inbox] holds the previous round's
+      deliveries sorted by sender and is only valid for the duration of this
+      call. Each outgoing message is pushed with [emit dst msg]; emission
+      order must match what {!S.step} would return. *)
+
+  val observe : state -> View.obs_core
+  val msg_bits : msg -> int
+  val msg_hint : msg -> int option
+end
+
+type buffered = (module BUFFERED)
+
+(** Compatibility shim: run a list-based protocol on the buffered engine.
+    The inbox is materialised as the legacy sorted list and the returned
+    out-list replayed through [emit], so behaviour is identical (including
+    message order) at the cost of the old per-step allocations. *)
+module Shim (P : S) :
+  BUFFERED with type state = P.state and type msg = P.msg = struct
+  type state = P.state
+  type msg = P.msg
+
+  let name = P.name
+  let init = P.init
+
+  let step_into cfg st ~round ~inbox ~rand ~emit =
+    let st, out = P.step cfg st ~round ~inbox:(Mailbox.to_list inbox) ~rand in
+    List.iter (fun (dst, m) -> emit dst m) out;
+    st
+
+  let observe = P.observe
+  let msg_bits = P.msg_bits
+  let msg_hint = P.msg_hint
+end
+
+(** A protocol on whichever path it supports; the engine runs both, and
+    [Buffered] is preferred wherever one exists. *)
+type any = Legacy of t | Buffered of buffered
+
 (** Uniform constructor every protocol exports: the single way protocols
     enter the registry. [build] packs the protocol for a configuration;
     [rounds_needed] is the round bound the harness should allow for it

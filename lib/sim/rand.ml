@@ -18,7 +18,7 @@ module Counter = struct
   let charge_bits t k = t.bits <- t.bits + k
 end
 
-type t = { base : int64; mutable state : int64; counter : Counter.t }
+type t = { mutable base : int64; mutable state : int64; counter : Counter.t }
 
 (* splitmix64: fast, high-quality 64-bit mixing; every run is a pure function
    of the seed, which the whole test suite relies on. *)
@@ -42,6 +42,14 @@ let create ?counter ~seed () =
 let derive t i =
   let base = mix64 (Int64.logxor t.base (mix64 (Int64.of_int (i + 1)))) in
   { base; state = base; counter = t.counter }
+
+(* Same derivation as [derive], but reseeding an existing stream in place so
+   the engine's inner loop does not allocate a stream per step. [into] must
+   share [t]'s counter for the accounting to stay coherent. *)
+let derive_into ~into t i =
+  let base = mix64 (Int64.logxor t.base (mix64 (Int64.of_int (i + 1)))) in
+  into.base <- base;
+  into.state <- base
 
 let counter t = t.counter
 

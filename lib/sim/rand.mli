@@ -26,6 +26,12 @@ val derive : t -> int -> t
 (** [derive t i] is an independent stream determined by [t]'s seed and [i].
     It shares [t]'s counter. Deriving does not consume [t]. *)
 
+val derive_into : into:t -> t -> int -> unit
+(** [derive_into ~into t i] reseeds [into] so that it behaves exactly like
+    [derive t i], without allocating a stream. [into] keeps its own counter,
+    so it should have been created from [t]'s counter (e.g. via [derive]) for
+    the accounting to remain shared. *)
+
 val counter : t -> Counter.t
 
 val bit : t -> int

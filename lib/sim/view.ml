@@ -5,7 +5,14 @@
     communication phase: it has already seen the random bits drawn this round
     (they are reflected in [candidate] / [used_randomness]) and the messages
     the processes are about to send, and only then picks new corruptions and
-    omissions. *)
+    omissions.
+
+    Allocation discipline: the engine allocates one view per run and
+    refreshes it in place each round — the [obs] records, the [faulty]
+    snapshot array and the [envelope] records are all reused. A view (and
+    everything reachable from it) is therefore only valid for the duration
+    of the adversary call that received it; an adversary that needs state
+    across rounds must copy what it keeps, never stash the view. *)
 
 type obs_core = {
   candidate : int option;  (** current candidate decision bit, if any *)
@@ -15,24 +22,29 @@ type obs_core = {
 
 type obs = {
   pid : int;
-  core : obs_core;
-  used_randomness : bool;  (** accessed the random source this round *)
+  mutable core : obs_core;
+  mutable used_randomness : bool;
+      (** accessed the random source this round *)
 }
 
 type envelope = {
-  src : int;
-  dst : int;
-  bits : int;  (** message size charged to communication complexity *)
-  hint : int option;  (** candidate value carried, when meaningful *)
+  mutable src : int;
+  mutable dst : int;
+  mutable bits : int;  (** message size charged to communication complexity *)
+  mutable hint : int option;  (** candidate value carried, when meaningful *)
 }
 
 type t = {
-  round : int;
+  mutable round : int;
   cfg : Config.t;
-  faulty : bool array;  (** fault set before this round's intervention *)
-  faults_used : int;
+  faulty : bool array;
+      (** fault set before this round's intervention (snapshot, refreshed in
+          place each round) *)
+  mutable faults_used : int;
   obs : obs array;
-  envelopes : envelope array;  (** all messages produced this round *)
+  mutable envelopes : envelope array;
+      (** all messages produced this round; the array is exact-length for
+          the round but its records live in a reused arena *)
 }
 
 type plan = {

@@ -141,7 +141,7 @@ let failure_json f =
 
 (* --- supervised engine run --- *)
 
-let run ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
+let run_any ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
     ~inputs =
   let started = Unix.gettimeofday () in
   let tripped = ref None in
@@ -169,7 +169,9 @@ let run ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
     !tripped <> None
   in
   let stop = if Budget.is_unlimited budget then None else Some stop in
-  match Sim.Engine.run ?on_round ?stop ?trace proto cfg ~adversary ~inputs with
+  match
+    Sim.Engine.run_any ?on_round ?stop ?trace proto cfg ~adversary ~inputs
+  with
   | o -> (
       match !tripped with
       | Some b when o.Sim.Engine.decided_round = None ->
@@ -189,6 +191,10 @@ let run ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
               backtrace = Printexc.raw_backtrace_to_string bt;
             },
           None )
+
+let run ?on_round ?trace ?budget proto cfg ~adversary ~inputs =
+  run_any ?on_round ?trace ?budget (Sim.Protocol_intf.Legacy proto) cfg
+    ~adversary ~inputs
 
 (* --- quarantining map --- *)
 

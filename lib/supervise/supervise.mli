@@ -121,6 +121,19 @@ val run :
     of propagating. A run that merely hits [cfg.max_rounds] undecided is
     still [Ok]: not deciding is a measurement, not a supervision failure. *)
 
+val run_any :
+  ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
+  ?trace:Trace.Sink.t ->
+  ?budget:Budget.t ->
+  Sim.Protocol_intf.any ->
+  Sim.Config.t ->
+  adversary:Sim.Adversary_intf.t ->
+  inputs:int array ->
+  (Sim.Engine.outcome, failure_kind * Sim.Engine.outcome option) result
+(** {!run} generalised over the engine path: [Buffered] protocols run on
+    the allocation-free {!Sim.Engine.run_buffered} path, [Legacy] ones
+    through the list-based shim. *)
+
 val map :
   ?jobs:int ->
   ?budget:Budget.t ->

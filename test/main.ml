@@ -22,4 +22,6 @@ let () =
       ("phase-king", Test_phase_king.suite);
       ("harness", Test_harness.suite);
       ("trace", Test_trace.suite);
+    ("mailbox", Test_mailbox.suite);
+    ("engine-equiv", Test_engine_equiv.suite);
     ]

@@ -314,6 +314,67 @@ let test_agreed_decision_helpers () =
   Alcotest.(check bool) "agreement helper consistent" true
     (Sim.Engine.agreed_decision o <> None)
 
+(* Edge cases for the outcome helpers, on records built directly: faulty
+   processes must be ignored entirely, and a single undecided or
+   disagreeing non-faulty process must flip the verdict wherever it sits. *)
+let test_outcome_helper_edges () =
+  let outcome ~decisions ~faulty =
+    {
+      Sim.Engine.decisions;
+      faulty;
+      rounds_total = 1;
+      decided_round = None;
+      messages_sent = 0;
+      bits_sent = 0;
+      messages_omitted = 0;
+      rand_calls = 0;
+      rand_bits = 0;
+      faults_used = 0;
+    }
+  in
+  let faulty_majority =
+    outcome
+      ~decisions:[| None; Some 1; None; Some 1; None |]
+      ~faulty:[| true; false; true; false; true |]
+  in
+  Alcotest.(check bool) "faulty majority: undecided faulty ignored" true
+    (Sim.Engine.all_nonfaulty_decided faulty_majority);
+  Alcotest.(check (option int)) "faulty majority: agreement on survivors"
+    (Some 1)
+    (Sim.Engine.agreed_decision faulty_majority);
+  let all_faulty =
+    outcome ~decisions:[| None; None |] ~faulty:[| true; true |]
+  in
+  Alcotest.(check bool) "all faulty: vacuously decided" true
+    (Sim.Engine.all_nonfaulty_decided all_faulty);
+  Alcotest.(check (option int)) "all faulty: no agreed value" None
+    (Sim.Engine.agreed_decision all_faulty);
+  let disagreement =
+    outcome
+      ~decisions:[| Some 0; Some 1; None |]
+      ~faulty:[| false; false; true |]
+  in
+  Alcotest.(check bool) "disagreement: still all decided" true
+    (Sim.Engine.all_nonfaulty_decided disagreement);
+  Alcotest.(check (option int)) "disagreement: no agreed value" None
+    (Sim.Engine.agreed_decision disagreement);
+  let late_disagreement =
+    outcome
+      ~decisions:[| Some 1; Some 1; Some 0 |]
+      ~faulty:[| false; false; false |]
+  in
+  Alcotest.(check (option int)) "late disagreement detected" None
+    (Sim.Engine.agreed_decision late_disagreement);
+  let mid_undecided =
+    outcome
+      ~decisions:[| Some 0; None; Some 0 |]
+      ~faulty:[| false; false; false |]
+  in
+  Alcotest.(check bool) "mid-array undecided non-faulty detected" false
+    (Sim.Engine.all_nonfaulty_decided mid_undecided);
+  Alcotest.(check (option int)) "undecided blocks agreement" None
+    (Sim.Engine.agreed_decision mid_undecided)
+
 let test_input_validation () =
   let cfg = cfg () in
   Alcotest.(check bool) "wrong input length rejected" true
@@ -358,5 +419,7 @@ let suite =
       test_recorruption_is_free;
     Alcotest.test_case "adversary view contents" `Quick test_view_contents;
     Alcotest.test_case "outcome helpers" `Quick test_agreed_decision_helpers;
+    Alcotest.test_case "outcome helper edge cases" `Quick
+      test_outcome_helper_edges;
     Alcotest.test_case "input validation" `Quick test_input_validation;
   ]

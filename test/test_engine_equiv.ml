@@ -1,0 +1,118 @@
+(* Bit-identity equivalence suite for the two engine paths.
+
+   For every protocol in the registry, across a grid of (adversary
+   strategy, seed, input pattern), the preferred path ({!Registry.build_any}
+   — buffered [step_into] for ported protocols) must produce exactly the
+   same outcome record and exactly the same JSONL trace, byte for byte, as
+   the legacy list-based [step] run through the compatibility shim. Runs
+   that abort with [Illegal_plan] (the grid deliberately includes
+   over-budget strategies) must abort with the same message after the same
+   trace prefix.
+
+   Ported protocols additionally run through one reusable
+   {!Sim.Engine.instance} twice, proving that cross-run buffer reuse leaks
+   no state: the second run is byte-identical to a fresh one. *)
+
+let grid_n entry = max entry.Harness.Registry.min_n 12
+let grid_t entry ~n = max 1 (min 3 (entry.Harness.Registry.max_t n))
+
+let input_patterns =
+  [ ("alternating", fun i -> i mod 2); ("all-ones", fun _ -> 1) ]
+
+let seeds = [ 1; 42 ]
+
+let cfg_for entry ~seed =
+  let n = grid_n entry in
+  let t = grid_t entry ~n in
+  let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
+  Sim.Config.make ~n ~t_max:t ~seed
+    ~max_rounds:(Harness.Registry.rounds_bound entry cfg0)
+    ()
+
+(* One traced run: outcome (or the Illegal_plan message) plus the trace as
+   JSON lines. The adversary strategy is rebuilt per run — some strategies
+   close over mutable state, and sharing one across compared runs would
+   let the first run's state bleed into the second. *)
+let capture ~n ~adv_idx run =
+  let adversary = List.nth (Adversary.standard_suite ~n) adv_idx in
+  let sink, events = Trace.Sink.memory () in
+  let res =
+    try Ok (run ~adversary ~trace:sink)
+    with Sim.Engine.Illegal_plan m -> Error m
+  in
+  (res, List.map Trace.Event.to_json (events ()))
+
+let adversary_count =
+  List.length (Adversary.standard_suite ~n:12)
+
+let check_equal ~ctx (res_a, trace_a) (res_b, trace_b) =
+  if res_a <> res_b then
+    Alcotest.failf "%s: outcomes differ (%s vs %s)" ctx
+      (match res_a with Ok _ -> "Ok" | Error m -> "Illegal_plan " ^ m)
+      (match res_b with Ok _ -> "Ok" | Error m -> "Illegal_plan " ^ m);
+  if trace_a <> trace_b then begin
+    let rec first_diff i = function
+      | a :: tl_a, b :: tl_b ->
+          if a <> b then
+            Alcotest.failf "%s: traces diverge at event %d:\n  %s\n  %s" ctx i
+              a b
+          else first_diff (i + 1) (tl_a, tl_b)
+      | _ ->
+          Alcotest.failf "%s: trace lengths differ (%d vs %d)" ctx
+            (List.length trace_a) (List.length trace_b)
+    in
+    first_diff 0 (trace_a, trace_b)
+  end
+
+let test_entry entry () =
+  let n = grid_n entry in
+  List.iter
+    (fun seed ->
+      let cfg = cfg_for entry ~seed in
+      List.iter
+        (fun (pat_name, pat) ->
+          let inputs = Array.init n pat in
+          for adv_idx = 0 to adversary_count - 1 do
+            let ctx =
+              Printf.sprintf "%s seed=%d inputs=%s adv=%d"
+                entry.Harness.Registry.id seed pat_name adv_idx
+            in
+            let legacy =
+              capture ~n ~adv_idx (fun ~adversary ~trace ->
+                  Sim.Engine.run ~trace
+                    (Harness.Registry.build entry cfg)
+                    cfg ~adversary ~inputs)
+            in
+            let preferred =
+              capture ~n ~adv_idx (fun ~adversary ~trace ->
+                  Sim.Engine.run_any ~trace
+                    (Harness.Registry.build_any entry cfg)
+                    cfg ~adversary ~inputs)
+            in
+            check_equal ~ctx:(ctx ^ " [shim vs preferred]") legacy preferred;
+            match entry.Harness.Registry.buffered with
+            | None -> ()
+            | Some bf ->
+                (* Cross-run reuse: the same instance twice, each run
+                   byte-identical to the fresh legacy run. *)
+                let inst = Sim.Engine.instance (bf cfg) cfg in
+                let via_instance () =
+                  capture ~n ~adv_idx (fun ~adversary ~trace ->
+                      Sim.Engine.run_instance ~trace inst ~adversary ~inputs)
+                in
+                check_equal ~ctx:(ctx ^ " [instance run 1]") legacy
+                  (via_instance ());
+                check_equal ~ctx:(ctx ^ " [instance run 2]") legacy
+                  (via_instance ())
+          done)
+        input_patterns)
+    seeds
+
+let suite =
+  List.map
+    (fun entry ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: buffered path bit-identical to shim"
+           entry.Harness.Registry.id)
+        `Quick (test_entry entry))
+    Harness.Registry.all

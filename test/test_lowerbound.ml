@@ -100,6 +100,68 @@ let test_product_determinism () =
   Alcotest.(check int) "same rounds" a.rounds b.rounds;
   Alcotest.(check int) "same randomness" a.rand_calls b.rand_calls
 
+(* Single-round (k=1) coin game: the draw is one +/-1 coin, so every edge
+   is enumerable — a budget of 1 hides the only player and always wins, a
+   budget of 0 wins exactly when the coin lands -1. *)
+let test_coin_game_single_player () =
+  let r = rand () in
+  for _ = 1 to 50 do
+    let s = Lowerbound.Coin_game.imbalance r ~k:1 in
+    Alcotest.(check bool) "k=1 imbalance is +/-1" true (s = 1 || s = -1)
+  done;
+  Alcotest.(check bool) "hide=1 biases a +1 draw" true
+    (Lowerbound.Coin_game.biasable ~imbalance:1 ~hide:1);
+  Alcotest.(check bool) "hide=0 cannot bias a +1 draw" false
+    (Lowerbound.Coin_game.biasable ~imbalance:1 ~hide:0);
+  Alcotest.(check bool) "hide=0 wins a -1 draw for free" true
+    (Lowerbound.Coin_game.biasable ~imbalance:(-1) ~hide:0);
+  Alcotest.(check (float 0.)) "full budget wins every k=1 game" 1.0
+    (Lowerbound.Coin_game.success_rate (rand ()) ~k:1 ~hide:1 ~trials:200);
+  let rate =
+    Lowerbound.Coin_game.success_rate (rand ()) ~k:1 ~hide:0 ~trials:400
+  in
+  Alcotest.(check bool) "hide=0 success rate ~ P(S = -1) = 1/2" true
+    (rate > 0.35 && rate < 0.65);
+  Alcotest.(check bool) "required hides for k=1 is 0 or 1" true
+    (let h =
+       Lowerbound.Coin_game.required_hides (rand ()) ~k:1 ~alpha:0.25
+         ~trials:200
+     in
+     h = 0 || h = 1)
+
+(* Theorem 2 experiment at the fault-budget extremes. t=0: the adversary
+   can corrupt nobody, so honest biased-majority voting decides and the
+   claimed bound t^2/log n degenerates to 0. t=n-1: the run must still
+   terminate with the product identity intact. *)
+let test_product_budget_extremes () =
+  let check_identity (r : Lowerbound.Product.result) =
+    Alcotest.(check int) "product = T x (R + T)"
+      (r.rounds * (r.rand_calls + r.rounds))
+      r.product
+  in
+  let r0 = Lowerbound.Product.run ~seed:3 ~n:16 ~t:0 ~coin_set:4 () in
+  Alcotest.(check bool) "t=0 decides" true r0.Lowerbound.Product.decided;
+  Alcotest.(check (float 0.)) "t=0 bound degenerates to 0" 0.
+    r0.Lowerbound.Product.bound;
+  check_identity r0;
+  let r1 = Lowerbound.Product.run ~seed:3 ~n:16 ~t:15 ~coin_set:4 () in
+  Alcotest.(check bool) "t=n-1 terminates with positive rounds" true
+    (r1.Lowerbound.Product.rounds > 0);
+  check_identity r1;
+  Alcotest.(check bool) "t=n-1 forces at least as many rounds as t=0" true
+    (r1.Lowerbound.Product.rounds >= r0.Lowerbound.Product.rounds)
+
+(* Regression pin for the Theorem 2 call counting: one small exact
+   instance, every counted metric fixed. A change to how the harness
+   counts R (the undercounting bug class) or schedules rounds shows up
+   here as an exact diff, not a statistical drift. *)
+let test_product_call_counting_pin () =
+  let r = Lowerbound.Product.run ~seed:7 ~n:24 ~t:4 ~coin_set:6 () in
+  Alcotest.(check int) "rounds (T)" 4 r.Lowerbound.Product.rounds;
+  Alcotest.(check int) "rand calls (R)" 12 r.Lowerbound.Product.rand_calls;
+  Alcotest.(check int) "product" 64 r.Lowerbound.Product.product;
+  Alcotest.(check bool) "decided" true r.Lowerbound.Product.decided
+
 let suite =
   [
     Alcotest.test_case "imbalance parity/range" `Quick test_imbalance_parity;
@@ -113,4 +175,10 @@ let suite =
     Alcotest.test_case "Theorem 2 product bound" `Slow test_product_bound_holds;
     Alcotest.test_case "starved runs are slower" `Slow test_starved_is_slower;
     Alcotest.test_case "product determinism" `Quick test_product_determinism;
+    Alcotest.test_case "single-player coin game edges" `Quick
+      test_coin_game_single_player;
+    Alcotest.test_case "product at t=0 and t=n-1" `Quick
+      test_product_budget_extremes;
+    Alcotest.test_case "Theorem 2 call-counting pin" `Quick
+      test_product_call_counting_pin;
   ]

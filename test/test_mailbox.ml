@@ -1,0 +1,87 @@
+(* Property tests for the engine's flat message buffer (Sim.Mailbox):
+   insertion order through growth, reset-by-count reuse never leaking
+   stale entries, and the monomorphic stable sort agreeing with the old
+   [List.sort] ordering the legacy engine used. *)
+
+let qcheck t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xb0f |]) t
+
+(* A mailbox load: list of (peer, msg) pushes. Peers from a small range so
+   duplicates (the stability-sensitive case) are common. *)
+let load =
+  QCheck.(small_list (pair (int_range 0 7) small_int))
+
+let fill mb pushes =
+  List.iter (fun (peer, m) -> Sim.Mailbox.push mb ~peer m) pushes
+
+let qcheck_order =
+  QCheck.Test.make ~name:"push/iter/to_list preserve insertion order"
+    ~count:300 load (fun pushes ->
+      let mb = Sim.Mailbox.create () in
+      fill mb pushes;
+      let via_iter = ref [] in
+      Sim.Mailbox.iter mb (fun peer m -> via_iter := (peer, m) :: !via_iter);
+      Sim.Mailbox.length mb = List.length pushes
+      && Sim.Mailbox.to_list mb = pushes
+      && List.rev !via_iter = pushes)
+
+let qcheck_growth =
+  QCheck.Test.make ~name:"order survives growth past any capacity" ~count:50
+    QCheck.(pair (int_range 1 5) (int_range 100 400))
+    (fun (hint, len) ->
+      (* Force many doubling steps from a tiny hinted capacity. *)
+      let mb = Sim.Mailbox.create ~hint () in
+      let pushes = List.init len (fun i -> (i mod 9, i * 3)) in
+      fill mb pushes;
+      Sim.Mailbox.to_list mb = pushes)
+
+let qcheck_reuse =
+  QCheck.Test.make
+    ~name:"clear-then-refill never exposes stale entries" ~count:300
+    QCheck.(pair load load)
+    (fun (first, second) ->
+      let mb = Sim.Mailbox.create () in
+      fill mb first;
+      Sim.Mailbox.clear mb;
+      (* A cleared buffer reads as empty even though slots keep old data. *)
+      Sim.Mailbox.length mb = 0
+      && Sim.Mailbox.to_list mb = []
+      &&
+      (fill mb second;
+       Sim.Mailbox.to_list mb = second
+       && Sim.Mailbox.fold mb ~init:0 (fun acc _ _ -> acc + 1)
+          = List.length second))
+
+let qcheck_sort =
+  QCheck.Test.make
+    ~name:"sort_by_peer = stable List.sort by peer (duplicates kept)"
+    ~count:500 load (fun pushes ->
+      let mb = Sim.Mailbox.create () in
+      fill mb pushes;
+      Sim.Mailbox.sort_by_peer mb;
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) pushes
+      in
+      Sim.Mailbox.to_list mb = expected)
+
+let test_bounds () =
+  let mb = Sim.Mailbox.create () in
+  Sim.Mailbox.push mb ~peer:3 "x";
+  Alcotest.(check string) "msg 0" "x" (Sim.Mailbox.msg mb 0);
+  Alcotest.(check int) "peer 0" 3 (Sim.Mailbox.peer mb 0);
+  Alcotest.check_raises "peer out of bounds"
+    (Invalid_argument "Mailbox.peer: index out of bounds") (fun () ->
+      ignore (Sim.Mailbox.peer mb 1));
+  Sim.Mailbox.clear mb;
+  Alcotest.check_raises "cleared slot unreadable"
+    (Invalid_argument "Mailbox.msg: index out of bounds") (fun () ->
+      ignore (Sim.Mailbox.msg mb 0))
+
+let suite =
+  [
+    qcheck qcheck_order;
+    qcheck qcheck_growth;
+    qcheck qcheck_reuse;
+    qcheck qcheck_sort;
+    Alcotest.test_case "bounds checks and clear semantics" `Quick test_bounds;
+  ]
