@@ -502,6 +502,31 @@ let avg_runs ?(label = "") ms =
         let favg g =
           List.fold_left (fun a m -> a +. float_of_int (g m)) 0. ms /. n
         in
+        (* Flag points whose per-seed round counts scatter wildly: an
+           averaged row hides a bimodal protocol (e.g. fallback taken on
+           some seeds only). Sample variance needs two points —
+           Stats.stddev raises on fewer — so the check is guarded. *)
+        (if List.length ms >= 2 then begin
+           let rounds =
+             Array.of_list (List.map (fun m -> float_of_int m.rounds) ms)
+           in
+           let mean = Stats.mean rounds in
+           let sd = Stats.stddev rounds in
+           if mean > 0. && sd > 0.5 *. mean then begin
+             Printf.printf
+               "  warning%s: high round-count variance across seeds (mean \
+                %.1f, stddev %.1f)\n"
+               (if label = "" then "" else Printf.sprintf " (%s)" label)
+               mean sd;
+             Out.emit ~kind:"warning"
+               [
+                 ("label", Out.S label);
+                 ("high_variance", Out.S "rounds");
+                 ("mean_rounds", Out.F mean);
+                 ("stddev_rounds", Out.F sd);
+               ]
+           end
+         end);
         Some
           ( favg (fun m -> m.rounds),
             favg (fun m -> m.bits),

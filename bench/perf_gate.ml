@@ -12,6 +12,10 @@
      must allocate at least 5x fewer words per round than the legacy
      list-based shim path — the refactor's acceptance bar.
 
+   Only allocation is gated. Throughput (rounds per second) is machine-
+   dependent, so the micro-engine experiment logs it as separate
+   kind="micro-throughput" records that this gate ignores entirely.
+
    No JSON library: records are flat one-line objects written by
    Bench_util.Out, so plain substring field extraction is exact. Exit
    status 0 = gate passed, 1 = regression or missing data, 2 = usage. *)

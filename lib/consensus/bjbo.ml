@@ -40,8 +40,8 @@ type state = {
   mutable announced : bool;  (** already broadcast the decision once *)
 }
 
-let protocol ?(coin_set_size = max_int) ?(theta_factor = 0.5) (cfg : Sim.Config.t) :
-    Sim.Protocol_intf.t =
+let make ?(coin_set_size = max_int) ?(theta_factor = 0.5)
+    (cfg : Sim.Config.t) =
   let module M = struct
     type nonrec state = state
     type nonrec msg = msg
@@ -62,29 +62,24 @@ let protocol ?(coin_set_size = max_int) ?(theta_factor = 0.5) (cfg : Sim.Config.
         announced = false;
       }
 
-    let broadcast st m =
-      let out = ref [] in
-      for dst = st.n - 1 downto 0 do
-        if dst <> st.pid then out := (dst, m) :: !out
-      done;
-      !out
+    let broadcast_into st m ~emit =
+      for dst = 0 to st.n - 1 do
+        if dst <> st.pid then emit dst m
+      done
 
-    let process st ~inbox ~rand =
+    let process st ~iter ~rand =
       (* a decision announcement overrides counting *)
-      let final =
-        List.fold_left
-          (fun acc (_, Vote { b; final }) ->
-            match acc with None when final -> Some b | _ -> acc)
-          None inbox
-      in
-      match final with
+      let final = ref None in
+      iter (fun _src (Vote { b; final = fin }) ->
+          if fin && !final = None then final := Some b);
+      match !final with
       | Some v ->
           st.b <- v;
           st.decided <- Some v
       | None ->
           let c = [| 0; 0 |] in
           c.(st.b) <- 1;
-          List.iter (fun (_, Vote { b; _ }) -> c.(b) <- c.(b) + 1) inbox;
+          iter (fun _src (Vote { b; _ }) -> c.(b) <- c.(b) + 1);
           let total = c.(0) + c.(1) in
           let decide_margin = (total / 2) + st.t_max + st.theta in
           let lean_margin = (total / 2) + st.theta in
@@ -101,14 +96,29 @@ let protocol ?(coin_set_size = max_int) ?(theta_factor = 0.5) (cfg : Sim.Config.
           else if st.coin_eligible then st.b <- Sim.Rand.bit rand
           else st.b <- (if c.(1) >= c.(0) then 1 else 0)
 
-    let step _cfg st ~round ~inbox ~rand =
-      if round > 1 then if st.decided = None then process st ~inbox ~rand;
+    (* Shared per-round logic for both engine paths: one shared message
+       record per broadcast, ascending destination order. *)
+    let step_core st ~round ~iter ~rand ~emit =
+      if round > 1 then if st.decided = None then process st ~iter ~rand;
       match st.decided with
       | Some v when not st.announced ->
           st.announced <- true;
-          (st, broadcast st (Vote { b = v; final = true }))
-      | Some _ -> (st, [])
-      | None -> (st, broadcast st (Vote { b = st.b; final = false }))
+          broadcast_into st (Vote { b = v; final = true }) ~emit
+      | Some _ -> ()
+      | None -> broadcast_into st (Vote { b = st.b; final = false }) ~emit
+
+    let step _cfg st ~round ~inbox ~rand =
+      let out = ref [] in
+      step_core st ~round
+        ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
+        ~rand
+        ~emit:(fun dst m -> out := (dst, m) :: !out);
+      (st, List.rev !out)
+
+    let step_into _cfg st ~round ~inbox ~rand ~emit =
+      step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~rand
+        ~emit;
+      st
 
     let observe st =
       {
@@ -121,7 +131,15 @@ let protocol ?(coin_set_size = max_int) ?(theta_factor = 0.5) (cfg : Sim.Config.
     let msg_hint (Vote { b; _ }) = Some b
   end in
   ignore cfg;
-  (module M)
+  ((module M : Sim.Protocol_intf.S), (module M : Sim.Protocol_intf.BUFFERED))
+
+let protocol ?coin_set_size ?theta_factor (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.t =
+  fst (make ?coin_set_size ?theta_factor cfg)
+
+let protocol_buffered ?coin_set_size ?theta_factor (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.buffered =
+  snd (make ?coin_set_size ?theta_factor cfg)
 
 let builder ?coin_set_size ?theta_factor () : Sim.Protocol_intf.builder =
   (module struct

@@ -223,45 +223,44 @@ let is_neighbor st local =
 (* Aggregation (Algorithm 2 + GroupRelay)                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Both engine paths run the same iterator-driven slot logic: the list
+   path feeds [iter_of_list], the buffered path iterates the engine's
+   mailbox directly (no intermediate (src, msg) list on the hot path). *)
+let iter_of_list inbox f = List.iter (fun (src, m) -> f src m) inbox
+
 (* Entry to a stage's B slot: transmitters record the first-received counts
    per child bag (own contribution first — self-messages are handled
-   locally, not through the network) and acknowledge each source heard. *)
-let agg_process_a st ~slot ~s ~inbox =
-  if not (transmits st ~slot) then []
-  else begin
+   locally, not through the network) and acknowledge each source heard —
+   [confirm src] fires in arrival order, once per source. *)
+let agg_process_a st ~slot ~s ~iter ~confirm =
+  if transmits st ~slot then begin
     Hashtbl.reset st.relay_tbl;
     if st.sourced then
       Hashtbl.replace st.relay_tbl (st.rank lsr (s - 1)) st.agg;
-    let senders = ref [] in
-    List.iter
-      (fun (src, m) ->
+    iter (fun src m ->
         match m with
         | Counts { stage; bag; c } when stage = s -> (
             match local_of st src with
             | Some l when same_group st l ->
-                senders := src :: !senders;
+                confirm src;
                 if not (Hashtbl.mem st.relay_tbl bag) then
                   Hashtbl.replace st.relay_tbl bag c
             | Some _ | None -> ())
         | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ())
-      inbox;
-    List.rev !senders
   end
 
 (* Entry to a stage's C slot: sources count confirmations (self included)
    against the majority quorum of the whole group. *)
-let agg_process_b st ~slot ~s ~inbox =
+let agg_process_b st ~slot ~s ~iter =
   if st.sourced && st.operative then begin
     let confirms = ref 1 in
-    List.iter
-      (fun (src, m) ->
+    iter (fun src m ->
         match m with
         | Confirm { stage } when stage = s -> (
             match local_of st src with
             | Some l when same_group st l -> incr confirms
             | Some _ | None -> ())
-        | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ())
-      inbox;
+        | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ());
     if !confirms < st.quorum then become_inoperative st ~slot
   end
 
@@ -271,15 +270,14 @@ let agg_process_b st ~slot ~s ~inbox =
    source of the child bag and hence contains every operative member's bit
    (the paper's Lemma 1 induction); we take our own transmitter version
    first and fill missing children from the others in sender order. *)
-let agg_finalize_stage st ~slot ~s ~inbox =
+let agg_finalize_stage st ~slot ~s ~iter =
   if st.operative then begin
     let k = st.rank lsr s in
     let left_bag = 2 * k and right_bag = (2 * k) + 1 in
     let left = ref (Hashtbl.find_opt st.relay_tbl left_bag) in
     let right = ref (Hashtbl.find_opt st.relay_tbl right_bag) in
     let results = ref 1 in
-    List.iter
-      (fun (src, m) ->
+    iter (fun src m ->
         match m with
         | Result { stage; left = l; right = r } when stage = s -> (
             match local_of st src with
@@ -288,8 +286,7 @@ let agg_finalize_stage st ~slot ~s ~inbox =
                 (match (!left, l) with None, Some _ -> left := l | _ -> ());
                 (match (!right, r) with None, Some _ -> right := r | _ -> ())
             | Some _ | None -> ())
-        | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ())
-      inbox;
+        | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ());
     if !results < st.quorum then become_inoperative st ~slot
     else begin
       let get = function Some c -> c | None -> counts_zero in
@@ -297,27 +294,30 @@ let agg_finalize_stage st ~slot ~s ~inbox =
     end
   end
 
-let to_group st msg =
-  Array.fold_left
-    (fun acc l -> if l = st.me then acc else (global st l, msg) :: acc)
-    [] st.group_locals
+(* Group broadcast of one shared message record. Emission walks the member
+   array backwards: the old list path built its output by fold-left
+   consing, so the wire order (and hence the trace) is the reverse of the
+   array — kept bit-identical here. *)
+let to_group_into st msg ~emit =
+  for i = Array.length st.group_locals - 1 downto 0 do
+    let l = st.group_locals.(i) in
+    if l <> st.me then emit (global st l) msg
+  done
 
 (* Emission at a stage's C slot: the transmitter sends each group member the
    result pair for that member's parent bag. *)
-let agg_emit_results st ~slot ~s =
-  if not (transmits st ~slot) then []
-  else
-    Array.fold_left
-      (fun acc l ->
-        if l = st.me then acc
-        else begin
-          let rank_l = Groups.rank_of st.sh.part l in
-          let k = rank_l lsr s in
-          let left = Hashtbl.find_opt st.relay_tbl (2 * k) in
-          let right = Hashtbl.find_opt st.relay_tbl ((2 * k) + 1) in
-          (global st l, Result { stage = s; left; right }) :: acc
-        end)
-      [] st.group_locals
+let agg_emit_results_into st ~slot ~s ~emit =
+  if transmits st ~slot then
+    for i = Array.length st.group_locals - 1 downto 0 do
+      let l = st.group_locals.(i) in
+      if l <> st.me then begin
+        let rank_l = Groups.rank_of st.sh.part l in
+        let k = rank_l lsr s in
+        let left = Hashtbl.find_opt st.relay_tbl (2 * k) in
+        let right = Hashtbl.find_opt st.relay_tbl ((2 * k) + 1) in
+        emit (global st l) (Result { stage = s; left; right })
+      end
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Spreading (Algorithm 3)                                             *)
@@ -328,36 +328,38 @@ let spread_init st =
   Hashtbl.reset st.sent_to;
   if st.operative then st.bitpacks.(st.grp) <- Some st.agg
 
-let spread_emit st =
+(* The (neighbor, group) sent-once bookkeeping is independent across
+   neighbors, so walking the neighbor array backwards (to match the old
+   fold-left-consed wire order) builds the same per-neighbor deltas. *)
+let spread_emit_into st ~emit =
   match st.sh.graph with
-  | None -> []
+  | None -> ()
   | Some g ->
-      if not st.operative then []
-      else
-        Array.fold_left
-          (fun acc q ->
-            if Hashtbl.mem st.disregarded q then acc
-            else begin
-              let entries = ref [] in
-              for grp = Array.length st.bitpacks - 1 downto 0 do
-                match st.bitpacks.(grp) with
-                | Some c when not (Hashtbl.mem st.sent_to (q, grp)) ->
-                    Hashtbl.replace st.sent_to (q, grp) ();
-                    entries := (grp, c) :: !entries
-                | Some _ | None -> ()
-              done;
-              (global st q, Spread_delta !entries) :: acc
-            end)
-          [] (Expander.neighbors g st.me)
+      if st.operative then begin
+        let nb = Expander.neighbors g st.me in
+        for i = Array.length nb - 1 downto 0 do
+          let q = nb.(i) in
+          if not (Hashtbl.mem st.disregarded q) then begin
+            let entries = ref [] in
+            for grp = Array.length st.bitpacks - 1 downto 0 do
+              match st.bitpacks.(grp) with
+              | Some c when not (Hashtbl.mem st.sent_to (q, grp)) ->
+                  Hashtbl.replace st.sent_to (q, grp) ();
+                  entries := (grp, c) :: !entries
+              | Some _ | None -> ()
+            done;
+            emit (global st q) (Spread_delta !entries)
+          end
+        done
+      end
 
-let spread_process st ~slot ~inbox =
+let spread_process st ~slot ~iter =
   if st.operative then begin
     match st.sh.graph with
     | None -> ()
     | Some g ->
         let received = Hashtbl.create 16 in
-        List.iter
-          (fun (src, m) ->
+        iter (fun src m ->
             match m with
             | Spread_delta entries -> (
                 match local_of st src with
@@ -374,8 +376,7 @@ let spread_process st ~slot ~inbox =
                         then st.bitpacks.(grp) <- Some c)
                       entries
                 | Some _ | None -> ())
-            | Counts _ | Confirm _ | Result _ | Final _ -> ())
-          inbox;
+            | Counts _ | Confirm _ | Result _ | Final _ -> ());
         Array.iter
           (fun q ->
             if
@@ -429,25 +430,6 @@ let vote_update st ~slot ~rand =
 (* The per-slot driver                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Consume the previous slot's inbox. Returns the confirms to send when the
-   previous slot was a Counts broadcast (they are emitted this slot). *)
-let process_entry st ~slot ~inbox ~rand =
-  if slot = 1 then []
-  else
-    match st.sh.schedule.(slot - 2) with
-    | Agg_a s -> agg_process_a st ~slot ~s ~inbox
-    | Agg_b s ->
-        agg_process_b st ~slot ~s ~inbox;
-        []
-    | Agg_c s ->
-        agg_finalize_stage st ~slot ~s ~inbox;
-        []
-    | Spread k ->
-        spread_process st ~slot ~inbox;
-        if k = st.sh.spread_rounds then vote_update st ~slot ~rand;
-        []
-    | Bcast -> invalid_arg "Core.step: stepped past the schedule"
-
 let epoch_begin st =
   st.sourced <- false;
   Hashtbl.reset st.relay_tbl;
@@ -455,60 +437,82 @@ let epoch_begin st =
     st.agg <-
       (if st.b = 1 then { ones = 1; zeros = 0 } else { ones = 0; zeros = 1 })
 
-(* line 14 broadcasts to every member of the instance, not just the group *)
-let to_group_all st msg =
-  Array.fold_left
-    (fun acc pid -> if pid = st.pid then acc else (pid, msg) :: acc)
-    [] st.sh.members
+(* line 14 broadcasts to every member of the instance, not just the group;
+   reverse member order for the same wire-order reason as [to_group_into] *)
+let to_group_all_into st msg ~emit =
+  for i = Array.length st.sh.members - 1 downto 0 do
+    let pid = st.sh.members.(i) in
+    if pid <> st.pid then emit pid msg
+  done
 
-(** Run local slot [slot] (1-based, up to [rounds sh]). Mutates the state
-    and returns the messages to send, addressed to global pids. *)
-let step st ~slot ~inbox ~rand =
-  let confirm_dsts = process_entry st ~slot ~inbox ~rand in
+(** Iterator core of {!step}: [iter f] must call [f src m] for every
+    message of the previous slot's inbox in delivery order; outgoing
+    messages go to [emit], addressed to global pids, in the exact order the
+    list path would return them. The entry pass emits the Confirm
+    acknowledgments directly — an [Agg_a] slot is always followed by the
+    matching [Agg_b] slot, and entry processing shares the emission's
+    [transmits] guard. *)
+let step_into st ~slot ~iter ~rand ~emit =
+  (if slot > 1 then
+     match st.sh.schedule.(slot - 2) with
+     | Agg_a s ->
+         (* one shared Confirm record for every acknowledged source *)
+         let cm = Confirm { stage = s } in
+         agg_process_a st ~slot ~s ~iter ~confirm:(fun src -> emit src cm)
+     | Agg_b s -> agg_process_b st ~slot ~s ~iter
+     | Agg_c s -> agg_finalize_stage st ~slot ~s ~iter
+     | Spread k ->
+         spread_process st ~slot ~iter;
+         if k = st.sh.spread_rounds then vote_update st ~slot ~rand
+     | Bcast -> invalid_arg "Core.step: stepped past the schedule");
   match st.sh.schedule.(slot - 1) with
   | Agg_a s ->
       if s = 1 then epoch_begin st;
       if st.operative then begin
         st.sourced <- true;
-        to_group st
+        to_group_into st
           (Counts { stage = s; bag = st.rank lsr (s - 1); c = st.agg })
+          ~emit
       end
-      else begin
-        st.sourced <- false;
-        []
-      end
-  | Agg_b s ->
-      if transmits st ~slot then
-        List.map (fun dst -> (dst, Confirm { stage = s })) confirm_dsts
-      else []
-  | Agg_c s -> agg_emit_results st ~slot ~s
+      else st.sourced <- false
+  | Agg_b _ -> () (* the Confirms went out during the entry pass above *)
+  | Agg_c s -> agg_emit_results_into st ~slot ~s ~emit
   | Spread k ->
       if k = 1 then spread_init st;
-      spread_emit st
+      spread_emit_into st ~emit
   | Bcast ->
       if st.sh.final_broadcast && st.operative && st.decided then
-        to_group_all st (Final st.b)
-      else []
+        to_group_all_into st (Final st.b) ~emit
 
-(** Consume the Bcast slot's inbox (lines 15-16). Must be called exactly
-    once, on the round after [rounds sh] slots have been stepped. *)
-let finalize st ~inbox =
+(** Run local slot [slot] (1-based, up to [rounds sh]). Mutates the state
+    and returns the messages to send, addressed to global pids. *)
+let step st ~slot ~inbox ~rand =
+  let out = ref [] in
+  step_into st ~slot ~iter:(iter_of_list inbox) ~rand ~emit:(fun dst m ->
+      out := (dst, m) :: !out);
+  List.rev !out
+
+(** Iterator core of {!finalize} (lines 15-16); same [iter] contract as
+    {!step_into}. *)
+let finalize_into st ~iter =
   if st.operative && st.decided then st.got_decision <- true
   else begin
     let adopted = ref None in
-    List.iter
-      (fun (src, m) ->
+    iter (fun src m ->
         match m with
         | Final v when !adopted = None && local_of st src <> None ->
             adopted := Some v
-        | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ())
-      inbox;
+        | Counts _ | Confirm _ | Result _ | Spread_delta _ | Final _ -> ());
     match !adopted with
     | Some v ->
         st.b <- v;
         st.got_decision <- true
     | None -> ()
   end
+
+(** Consume the Bcast slot's inbox (lines 15-16). Must be called exactly
+    once, on the round after [rounds sh] slots have been stepped. *)
+let finalize st ~inbox = finalize_into st ~iter:(iter_of_list inbox)
 
 (** Line 16: the decision available right after {!finalize}, if any. *)
 let line16_decision st =

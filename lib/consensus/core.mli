@@ -88,11 +88,27 @@ val got_decision : t -> bool
 val step :
   t -> slot:int -> inbox:(int * msg) list -> rand:Sim.Rand.t -> (int * msg) list
 (** Run local slot 1..[rounds]; mutates the state, returns messages
-    addressed to global pids. *)
+    addressed to global pids. A thin wrapper over {!step_into} — both
+    engine paths run the same iterator-driven core. *)
+
+val step_into :
+  t ->
+  slot:int ->
+  iter:((int -> msg -> unit) -> unit) ->
+  rand:Sim.Rand.t ->
+  emit:(int -> msg -> unit) ->
+  unit
+(** Iterator core of {!step}: [iter f] must call [f src m] for every inbox
+    message in delivery order (the buffered path iterates its mailbox
+    directly — no intermediate list); outgoing messages go to [emit] in
+    the exact order {!step} would list them. *)
 
 val finalize : t -> inbox:(int * msg) list -> unit
 (** Consume the broadcast slot's inbox (lines 15-16); call exactly once,
     on the round after the schedule ends. *)
+
+val finalize_into : t -> iter:((int -> msg -> unit) -> unit) -> unit
+(** Iterator core of {!finalize}; same [iter] contract as {!step_into}. *)
 
 val line16_decision : t -> int option
 (** The decision line 16 permits right after {!finalize}: the own value if

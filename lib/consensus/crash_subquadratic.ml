@@ -16,7 +16,9 @@
 
     Typical-run bits: Õ(n^{3/2}) from the epochs + Õ(n log^2 n)
     dissemination. The deterministic fallback (phase-king, Θ(n^2 t)) runs
-    with polynomially small probability, exactly as in Algorithm 1. *)
+    with polynomially small probability, exactly as in Algorithm 1. Both
+    engine paths share one iterator-driven [step_core], so they are
+    byte-identical by construction. *)
 
 type msg =
   | Core_msg of Core.msg
@@ -42,8 +44,9 @@ type state = {
   mutable broadcast_help : bool;  (** last-resort full Help already sent *)
 }
 
-let protocol ?(params = Params.default) (cfg : Sim.Config.t) :
-    Sim.Protocol_intf.t =
+let iter_empty _f = ()
+
+let make ?(params = Params.default) (cfg : Sim.Config.t) =
   let n = cfg.Sim.Config.n in
   let t_max = cfg.Sim.Config.t_max in
   let members = Array.init n (fun i -> i) in
@@ -78,146 +81,148 @@ let protocol ?(params = Params.default) (cfg : Sim.Config.t) :
         broadcast_help = false;
       }
 
-    let core_inbox inbox =
-      List.filter_map
-        (fun (src, m) -> match m with Core_msg cm -> Some (src, cm) | _ -> None)
-        inbox
+    (* Filtered views of the whole-inbox iterator: filtering happens
+       during iteration, so the buffered path never materializes a list. *)
+    let core_iter iter f =
+      iter (fun src m ->
+          match m with
+          | Core_msg cm -> f src cm
+          | Gossip _ | Help | Pk_msg _ | Decided _ -> ())
 
-    let pk_inbox inbox =
-      List.filter_map
-        (fun (src, m) -> match m with Pk_msg pm -> Some (src, pm) | _ -> None)
-        inbox
+    let pk_iter iter f =
+      iter (fun src m ->
+          match m with
+          | Pk_msg pm -> f src pm
+          | Core_msg _ | Gossip _ | Help | Decided _ -> ())
 
     (* Adopt gossiped/decided values and collect Help requests, at any
        point of the run. *)
-    let absorb st ~inbox =
-      List.iter
-        (fun (src, m) ->
+    let absorb st ~iter =
+      iter (fun src m ->
           match m with
-          | Gossip v | Decided v ->
-              if st.value = None then st.value <- Some v
+          | Gossip v | Decided v -> if st.value = None then st.value <- Some v
           | Help -> st.pending_replies <- src :: st.pending_replies
           | Core_msg _ | Pk_msg _ -> ())
-        inbox
 
-    let replies st =
-      match st.value with
-      | None ->
-          st.pending_replies <- [];
-          []
+    let emit_replies st ~emit =
+      (match st.value with
+      | None -> ()
       | Some v ->
-          let out = List.map (fun dst -> (dst, Decided v)) st.pending_replies in
-          st.pending_replies <- [];
-          out
+          (* pending_replies holds Help senders newest-first — the order
+             the old list path answered them in; one shared reply record *)
+          let reply = Decided v in
+          List.iter (fun dst -> emit dst reply) st.pending_replies);
+      st.pending_replies <- []
 
     (* Crash model: no heartbeats needed — silence is unambiguous — so the
        gossip sends only the value, once per link: O(n Delta) messages in
-       total instead of the omission model's quadratic broadcast. *)
-    let gossip_emission st =
+       total instead of the omission model's quadratic broadcast. The
+       neighbor array is walked backwards to keep the old fold-left-consed
+       wire order; the once-per-link bookkeeping is per-neighbor, so the
+       direction does not change what is sent. *)
+    let gossip_emission_into st ~emit =
       match st.value with
-      | None -> []
+      | None -> ()
       | Some v ->
-          Array.fold_left
-            (fun acc q ->
-              if Hashtbl.mem st.sent_gossip_to q then acc
-              else begin
-                Hashtbl.replace st.sent_gossip_to q ();
-                (q, Gossip v) :: acc
-              end)
-            []
-            (Expander.neighbors graph st.pid)
+          let gm = Gossip v in
+          let nb = Expander.neighbors graph st.pid in
+          for i = Array.length nb - 1 downto 0 do
+            let q = nb.(i) in
+            if not (Hashtbl.mem st.sent_gossip_to q) then begin
+              Hashtbl.replace st.sent_gossip_to q ();
+              emit q gm
+            end
+          done
 
-    let broadcast st m =
-      let out = ref [] in
-      for dst = n - 1 downto 0 do
-        if dst <> st.pid then out := (dst, m) :: !out
-      done;
-      !out
+    let broadcast_into st m ~emit =
+      for dst = 0 to n - 1 do
+        if dst <> st.pid then emit dst m
+      done
+
+    (* The whole state machine, once, for both engine paths. Replies to
+       Help requests go out first, exactly as the old list path's
+       [replies @ out]. *)
+    let step_core st ~round ~iter ~rand ~emit =
+      absorb st ~iter;
+      emit_replies st ~emit;
+      (match st.phase with
+      | Done _ -> ()
+      | Voting when round <= core_rounds ->
+          Core.step_into st.core ~slot:round ~iter:(core_iter iter) ~rand
+            ~emit:(fun dst m -> emit dst (Core_msg m))
+      | Voting ->
+          (* round = core_rounds + 1: close the voting, start gossiping *)
+          Core.finalize_into st.core ~iter:iter_empty;
+          if Core.decided_flag st.core && st.value = None then
+            st.value <- Some (Core.candidate st.core);
+          st.phase <- Gossiping;
+          gossip_emission_into st ~emit
+      | Gossiping when round < decision_round -> gossip_emission_into st ~emit
+      | Gossiping -> (
+          (* decision point *)
+          match st.value with
+          | Some v -> st.phase <- Done v
+          | None ->
+              if Core.operative st.core then begin
+                let pk =
+                  Phase_king.create ~n ~t_max ~pid:st.pid ~participating:true
+                    ~input:(Core.candidate st.core)
+                in
+                Phase_king.step_into pk ~local_round:1 ~iter:iter_empty
+                  ~emit:(fun dst m -> emit dst (Pk_msg m));
+                st.phase <- Fallback pk
+              end
+              else st.phase <- Waiting)
+      | Fallback pk ->
+          let local_round = round - decision_round in
+          if local_round <= pk_rounds - 1 then
+            Phase_king.step_into pk ~local_round:(local_round + 1)
+              ~iter:(pk_iter iter)
+              ~emit:(fun dst m -> emit dst (Pk_msg m))
+          else begin
+            let pk = Phase_king.finalize_into pk ~iter:(pk_iter iter) in
+            match Phase_king.decision pk with
+            | Some v ->
+                st.value <- Some v;
+                st.phase <- Done v;
+                broadcast_into st (Decided v) ~emit
+            | None ->
+                (* terminal hand-off: the help/reply exchange recovers the
+                   value — a decided process always exists in-model *)
+                st.phase <- Waiting
+          end
+      | Waiting -> (
+          match st.value with
+          | Some v -> st.phase <- Done v
+          | None ->
+              (* straggler: ask the neighborhood, then once everyone *)
+              if round <= decision_round + help_rounds then begin
+                let nb = Expander.neighbors graph st.pid in
+                for i = Array.length nb - 1 downto 0 do
+                  emit nb.(i) Help
+                done
+              end
+              else if not st.broadcast_help then begin
+                st.broadcast_help <- true;
+                broadcast_into st Help ~emit
+              end));
+      (* a decided process keeps answering Help requests *)
+      match st.phase with
+      | Done v when st.value = None -> st.value <- Some v
+      | _ -> ()
 
     let step _cfg st ~round ~inbox ~rand =
-      absorb st ~inbox;
-      let replies = replies st in
-      let st, out =
-        match st.phase with
-        | Done _ -> (st, [])
-        | Voting when round <= core_rounds ->
-            let msgs =
-              Core.step st.core ~slot:round ~inbox:(core_inbox inbox) ~rand
-            in
-            (st, List.map (fun (dst, m) -> (dst, Core_msg m)) msgs)
-        | Voting ->
-            (* round = core_rounds + 1: close the voting, start gossiping *)
-            Core.finalize st.core ~inbox:[];
-            if Core.decided_flag st.core && st.value = None then
-              st.value <- Some (Core.candidate st.core);
-            st.phase <- Gossiping;
-            (st, gossip_emission st)
-        | Gossiping when round < decision_round -> (st, gossip_emission st)
-        | Gossiping -> (
-            (* decision point *)
-            match st.value with
-            | Some v ->
-                st.phase <- Done v;
-                (st, [])
-            | None ->
-                if Core.operative st.core then begin
-                  let pk =
-                    Phase_king.create ~n ~t_max ~pid:st.pid
-                      ~participating:true ~input:(Core.candidate st.core)
-                  in
-                  let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
-                  st.phase <- Fallback pk;
-                  (st, List.map (fun (dst, m) -> (dst, Pk_msg m)) out)
-                end
-                else begin
-                  st.phase <- Waiting;
-                  (st, [])
-                end)
-        | Fallback pk ->
-            let local_round = round - decision_round in
-            if local_round <= pk_rounds - 1 then begin
-              let pk, out =
-                Phase_king.step pk ~local_round:(local_round + 1)
-                  ~inbox:(pk_inbox inbox)
-              in
-              st.phase <- Fallback pk;
-              (st, List.map (fun (dst, m) -> (dst, Pk_msg m)) out)
-            end
-            else begin
-              let pk = Phase_king.finalize pk ~inbox:(pk_inbox inbox) in
-              match Phase_king.decision pk with
-              | Some v ->
-                  st.value <- Some v;
-                  st.phase <- Done v;
-                  (st, broadcast st (Decided v))
-              | None ->
-                  st.phase <- Waiting;
-                  (st, [])
-            end
-        | Waiting -> (
-            match st.value with
-            | Some v ->
-                st.phase <- Done v;
-                (st, [])
-            | None ->
-                (* straggler: ask the neighborhood, then once everyone *)
-                if round <= decision_round + help_rounds then
-                  ( st,
-                    Array.fold_left
-                      (fun acc q -> (q, Help) :: acc)
-                      []
-                      (Expander.neighbors graph st.pid) )
-                else if not st.broadcast_help then begin
-                  st.broadcast_help <- true;
-                  (st, broadcast st Help)
-                end
-                else (st, []))
-      in
-      (* a decided process keeps answering Help requests *)
-      (match st.phase with
-      | Done v when st.value = None -> st.value <- Some v
-      | _ -> ());
-      (st, replies @ out)
+      let out = ref [] in
+      step_core st ~round
+        ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
+        ~rand
+        ~emit:(fun dst m -> out := (dst, m) :: !out);
+      (st, List.rev !out)
+
+    let step_into _cfg st ~round ~inbox ~rand ~emit =
+      step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~rand
+        ~emit;
+      st
 
     let observe st =
       {
@@ -238,7 +243,14 @@ let protocol ?(params = Params.default) (cfg : Sim.Config.t) :
       | Pk_msg (Phase_king.Value v) | Pk_msg (Phase_king.King v) -> Some v
       | Help -> None
   end in
-  (module M)
+  ((module M : Sim.Protocol_intf.S), (module M : Sim.Protocol_intf.BUFFERED))
+
+let protocol ?params (cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  fst (make ?params cfg)
+
+let protocol_buffered ?params (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.buffered =
+  snd (make ?params cfg)
 
 let rounds_needed ?(params = Params.default) (cfg : Sim.Config.t) =
   let members = Array.init cfg.Sim.Config.n (fun i -> i) in

@@ -30,72 +30,85 @@ type state = {
   mutable announced : bool;
 }
 
-let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
-  let module M = struct
-    type nonrec state = state
-    type nonrec msg = msg
+module M = struct
+  type nonrec state = state
+  type nonrec msg = msg
 
-    let name = "early-stopping"
+  let name = "early-stopping"
 
-    let init (cfg : Sim.Config.t) ~pid ~input =
-      {
-        pid;
-        n = cfg.n;
-        t_max = cfg.t_max;
-        v = input;
-        heard_prev = None;
-        decided = None;
-        announced = false;
-      }
+  let init (cfg : Sim.Config.t) ~pid ~input =
+    {
+      pid;
+      n = cfg.n;
+      t_max = cfg.t_max;
+      v = input;
+      heard_prev = None;
+      decided = None;
+      announced = false;
+    }
 
-    let broadcast st m =
-      let out = ref [] in
-      for dst = st.n - 1 downto 0 do
-        if dst <> st.pid then out := (dst, m) :: !out
-      done;
-      !out
+  let broadcast_into st m ~emit =
+    for dst = 0 to st.n - 1 do
+      if dst <> st.pid then emit dst m
+    done
 
-    let process st ~round ~inbox =
-      let final =
-        List.fold_left
-          (fun acc (_, Val { v; final }) ->
-            match acc with None when final -> Some v | _ -> acc)
-          None inbox
-      in
-      match final with
-      | Some v ->
-          st.v <- v;
-          st.decided <- Some v
-      | None ->
-          let heard = ref (Int_set.singleton st.pid) in
-          List.iter
-            (fun (src, Val { v; _ }) ->
-              heard := Int_set.add src !heard;
-              if v < st.v then st.v <- v)
-            inbox;
-          let clean =
-            match st.heard_prev with
-            | Some prev -> Int_set.subset prev !heard
-            | None -> false
-          in
-          st.heard_prev <- Some !heard;
-          if clean || round > st.t_max + 2 then st.decided <- Some st.v
+  (* Two passes over the inbox iterator (iterators are re-runnable on both
+     engine paths): first scan for a decision announcement, then — absent
+     one — collect the heard-from set and the minimum. *)
+  let process st ~round ~iter =
+    let final = ref None in
+    iter (fun _src (Val { v; final = fin }) ->
+        if fin && !final = None then final := Some v);
+    match !final with
+    | Some v ->
+        st.v <- v;
+        st.decided <- Some v
+    | None ->
+        let heard = ref (Int_set.singleton st.pid) in
+        iter (fun src (Val { v; _ }) ->
+            heard := Int_set.add src !heard;
+            if v < st.v then st.v <- v);
+        let clean =
+          match st.heard_prev with
+          | Some prev -> Int_set.subset prev !heard
+          | None -> false
+        in
+        st.heard_prev <- Some !heard;
+        if clean || round > st.t_max + 2 then st.decided <- Some st.v
 
-    let step _cfg st ~round ~inbox ~rand:_ =
-      if round > 1 && st.decided = None then process st ~round ~inbox;
-      match st.decided with
-      | Some v when not st.announced ->
-          st.announced <- true;
-          (st, broadcast st (Val { v; final = true }))
-      | Some _ -> (st, [])
-      | None -> (st, broadcast st (Val { v = st.v; final = false }))
+  (* Shared per-round logic — one shared message record per broadcast, in
+     ascending destination order (the wire order the list path always
+     had). *)
+  let step_core st ~round ~iter ~emit =
+    if round > 1 && st.decided = None then process st ~round ~iter;
+    match st.decided with
+    | Some v when not st.announced ->
+        st.announced <- true;
+        broadcast_into st (Val { v; final = true }) ~emit
+    | Some _ -> ()
+    | None -> broadcast_into st (Val { v = st.v; final = false }) ~emit
 
-    let observe st =
-      { Sim.View.candidate = Some st.v; operative = true; decided = st.decided }
+  let step _cfg st ~round ~inbox ~rand:_ =
+    let out = ref [] in
+    step_core st ~round
+      ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
+      ~emit:(fun dst m -> out := (dst, m) :: !out);
+    (st, List.rev !out)
 
-    let msg_bits (Val _) = 3
-    let msg_hint (Val { v; _ }) = Some v
-  end in
+  let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+    step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~emit;
+    st
+
+  let observe st =
+    { Sim.View.candidate = Some st.v; operative = true; decided = st.decided }
+
+  let msg_bits (Val _) = 3
+  let msg_hint (Val { v; _ }) = Some v
+end
+
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t = (module M)
+
+let protocol_buffered (_cfg : Sim.Config.t) : Sim.Protocol_intf.buffered =
   (module M)
 
 let builder : Sim.Protocol_intf.builder =

@@ -9,6 +9,10 @@ type msg
 
 val protocol : Sim.Config.t -> Sim.Protocol_intf.t
 
+val protocol_buffered : Sim.Config.t -> Sim.Protocol_intf.buffered
+(** The same protocol on the buffered engine path (shared iterator core —
+    byte-identical to {!protocol} through the shim). *)
+
 val builder : Sim.Protocol_intf.builder
 (** Registry constructor: id ["early-stopping"]; schedule bound
     [t_max + 5]. *)

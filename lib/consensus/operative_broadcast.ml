@@ -34,8 +34,7 @@ type state = {
   mutable decided : int option;
 }
 
-let protocol ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) :
-    Sim.Protocol_intf.t =
+let make ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) =
   let n = cfg.Sim.Config.n in
   let delta = Params.delta params ~n in
   let graph =
@@ -63,10 +62,9 @@ let protocol ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) :
         decided = None;
       }
 
-    let receive st ~inbox =
+    let receive st ~iter =
       let received = Hashtbl.create 16 in
-      List.iter
-        (fun (src, m) ->
+      iter (fun src m ->
           if
             Expander.mem_edge st.graph st.pid src
             && not (Hashtbl.mem st.disregarded src)
@@ -75,8 +73,7 @@ let protocol ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) :
             match m with
             | Gossip v -> if st.value = None then st.value <- Some v
             | Heartbeat -> ()
-          end)
-        inbox;
+          end);
       Array.iter
         (fun q ->
           if
@@ -86,28 +83,42 @@ let protocol ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) :
         (Expander.neighbors st.graph st.pid);
       if Hashtbl.length received < st.op_threshold then st.operative <- false
 
-    let step _cfg st ~round ~inbox ~rand:_ =
-      if round > 1 then receive st ~inbox;
+    (* Shared per-round logic for both engine paths. The neighbor array is
+       walked backwards to keep the old consed wire order; the
+       once-per-link bookkeeping is per-neighbor, so the direction does
+       not change what each neighbor receives. *)
+    let step_core st ~round ~iter ~emit =
+      if round > 1 then receive st ~iter;
       if round > st.rounds then begin
         if st.decided = None then
-          st.decided <- Some (match st.value with Some v -> v | None -> 0);
-        (st, [])
+          st.decided <- Some (match st.value with Some v -> v | None -> 0)
       end
-      else if not st.operative then (st, [])
-      else begin
-        let out = ref [] in
-        Array.iter
-          (fun q ->
-            if not (Hashtbl.mem st.disregarded q) then begin
-              match st.value with
-              | Some v when not (Hashtbl.mem st.sent_value_to q) ->
-                  Hashtbl.replace st.sent_value_to q ();
-                  out := (q, Gossip v) :: !out
-              | Some _ | None -> out := (q, Heartbeat) :: !out
-            end)
-          (Expander.neighbors st.graph st.pid);
-        (st, !out)
+      else if st.operative then begin
+        (* one shared Gossip record for every first-time link this round *)
+        let gm = match st.value with Some v -> Gossip v | None -> Heartbeat in
+        let nb = Expander.neighbors st.graph st.pid in
+        for i = Array.length nb - 1 downto 0 do
+          let q = nb.(i) in
+          if not (Hashtbl.mem st.disregarded q) then begin
+            match st.value with
+            | Some _ when not (Hashtbl.mem st.sent_value_to q) ->
+                Hashtbl.replace st.sent_value_to q ();
+                emit q gm
+            | Some _ | None -> emit q Heartbeat
+          end
+        done
       end
+
+    let step _cfg st ~round ~inbox ~rand:_ =
+      let out = ref [] in
+      step_core st ~round
+        ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
+        ~emit:(fun dst m -> out := (dst, m) :: !out);
+      (st, List.rev !out)
+
+    let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+      step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~emit;
+      st
 
     let observe st =
       {
@@ -119,7 +130,14 @@ let protocol ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) :
     let msg_bits = function Gossip _ -> 2 | Heartbeat -> 1
     let msg_hint = function Gossip v -> Some v | Heartbeat -> None
   end in
-  (module M)
+  ((module M : Sim.Protocol_intf.S), (module M : Sim.Protocol_intf.BUFFERED))
+
+let protocol ?params ?source (cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  fst (make ?params ?source cfg)
+
+let protocol_buffered ?params ?source (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.buffered =
+  snd (make ?params ?source cfg)
 
 let builder ?params ?(source = 0) () : Sim.Protocol_intf.builder =
   (module struct

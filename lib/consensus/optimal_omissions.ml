@@ -11,11 +11,29 @@
     - rounds V+1 .. V+P: phase-king among operative undecided processes;
     - round V+P+1: fallback participants fix their decision and broadcast
       it (line 18); idle processes decide on any received decision
-      (line 19). *)
+      (line 19);
+    - round V+P+2: a participant whose phase-king run ended undecided (it
+      heard no fallback message at all — possible only when the adversary
+      fully eclipses it, or when it is the lone participant) resolves the
+      residue: it adopts the first line-18 [Decided] broadcast it received,
+      falling back to its own phase-king value when none arrived (the lone
+      participant's value is the agreed one by the line-15 adoption), and
+      terminates without broadcasting. Before this [Undecided] phase
+      existed the process would re-run [Phase_king.finalize] on the
+      already-finalized state every later round, double-consuming inboxes —
+      the line-18/19 seam now has exactly one terminal transition.
+
+    Both engine paths run one shared [step_core] over an inbox context of
+    message-kind iterators (built from the legacy list or directly from the
+    engine mailbox — no intermediate [(src, msg) list] on the hot path), so
+    the two paths are byte-identical by construction. *)
 
 type phase =
   | Voting of Core.t
   | Fallback of { core : Core.t; pk : Phase_king.t }
+  | Undecided of { core : Core.t; value : int }
+      (** line-18 residue: the fallback ended undecided; wait one round for
+          a [Decided] broadcast, then self-decide [value] *)
   | Waiting of { core : Core.t }  (** line 19: idle until a decision arrives *)
   | Done of { core : Core.t; value : int }
 
@@ -24,7 +42,72 @@ type state = { phase : phase; pid : int }
 type msg = Core_msg of Core.msg | Pk_msg of Phase_king.msg | Decided of int
 
 let core_of = function
-  | Voting c | Fallback { core = c; _ } | Waiting { core = c } | Done { core = c; _ } -> c
+  | Voting c
+  | Fallback { core = c; _ }
+  | Undecided { core = c; _ }
+  | Waiting { core = c }
+  | Done { core = c; _ } -> c
+
+(* The per-round inbox, viewed as one iterator per message kind plus the
+   first-decision scan — each backed either by the legacy list or by the
+   engine's mailbox, filtering during iteration. *)
+type inbox_ctx = {
+  iter_core : (int -> Core.msg -> unit) -> unit;
+  iter_pk : (int -> Phase_king.msg -> unit) -> unit;
+  first_decided : unit -> int option;
+}
+
+let ctx_of_list inbox =
+  {
+    iter_core =
+      (fun f ->
+        List.iter
+          (fun (src, m) ->
+            match m with
+            | Core_msg cm -> f src cm
+            | Pk_msg _ | Decided _ -> ())
+          inbox);
+    iter_pk =
+      (fun f ->
+        List.iter
+          (fun (src, m) ->
+            match m with
+            | Pk_msg pm -> f src pm
+            | Core_msg _ | Decided _ -> ())
+          inbox);
+    first_decided =
+      (fun () ->
+        List.fold_left
+          (fun acc (_, m) ->
+            match (acc, m) with
+            | None, Decided v -> Some v
+            | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc)
+          None inbox);
+  }
+
+let ctx_of_mailbox inbox =
+  {
+    iter_core =
+      (fun f ->
+        Sim.Mailbox.iter inbox (fun src m ->
+            match m with
+            | Core_msg cm -> f src cm
+            | Pk_msg _ | Decided _ -> ()));
+    iter_pk =
+      (fun f ->
+        Sim.Mailbox.iter inbox (fun src m ->
+            match m with
+            | Pk_msg pm -> f src pm
+            | Core_msg _ | Decided _ -> ()));
+    first_decided =
+      (fun () ->
+        Sim.Mailbox.fold inbox ~init:None (fun acc _src m ->
+            match (acc, m) with
+            | None, Decided v -> Some v
+            | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc));
+  }
+
+let iter_empty _f = ()
 
 (** Build the protocol for a given configuration. The shared structures
     (partition, expander, schedule) are computed once here — they are pure
@@ -47,121 +130,17 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
     let init _cfg ~pid ~input =
       { phase = Voting (Core.create shared ~pid ~input); pid }
 
-    let core_inbox inbox =
-      List.filter_map
-        (fun (src, m) ->
-          match m with Core_msg cm -> Some (src, cm) | Pk_msg _ | Decided _ -> None)
-        inbox
-
-    let pk_inbox inbox =
-      List.filter_map
-        (fun (src, m) ->
-          match m with Pk_msg pm -> Some (src, pm) | Core_msg _ | Decided _ -> None)
-        inbox
-
-    let decided_inbox inbox =
-      List.fold_left
-        (fun acc (_, m) ->
-          match (acc, m) with
-          | None, Decided v -> Some v
-          | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc)
-        None inbox
-
-    (* Mailbox counterparts of the inbox filters: same (src, msg) pairs in
-       the same slot order as the list versions see them. *)
-    let core_inbox_mb inbox =
-      let acc = ref [] in
-      for i = Sim.Mailbox.length inbox - 1 downto 0 do
-        match Sim.Mailbox.msg inbox i with
-        | Core_msg cm -> acc := (Sim.Mailbox.peer inbox i, cm) :: !acc
-        | Pk_msg _ | Decided _ -> ()
-      done;
-      !acc
-
-    let pk_inbox_mb inbox =
-      let acc = ref [] in
-      for i = Sim.Mailbox.length inbox - 1 downto 0 do
-        match Sim.Mailbox.msg inbox i with
-        | Pk_msg pm -> acc := (Sim.Mailbox.peer inbox i, pm) :: !acc
-        | Core_msg _ | Decided _ -> ()
-      done;
-      !acc
-
-    let decided_inbox_mb inbox =
-      Sim.Mailbox.fold inbox ~init:None (fun acc _src m ->
-          match (acc, m) with
-          | None, Decided v -> Some v
-          | _, (Decided _ | Core_msg _ | Pk_msg _) -> acc)
-
-    let broadcast st m =
-      let out = ref [] in
-      for dst = cfg.Sim.Config.n - 1 downto 0 do
-        if dst <> st.pid then out := (dst, m) :: !out
-      done;
-      !out
-
-    let step _cfg st ~round ~inbox ~rand =
-      match st.phase with
-      | Done _ -> (st, [])
-      | Voting core when round <= core_rounds ->
-          let msgs = Core.step core ~slot:round ~inbox:(core_inbox inbox) ~rand in
-          (st, List.map (fun (dst, m) -> (dst, Core_msg m)) msgs)
-      | Voting core ->
-          (* round = core_rounds + 1: lines 15-16 *)
-          Core.finalize core ~inbox:(core_inbox inbox);
-          (match Core.line16_decision core with
-          | Some v -> ({ st with phase = Done { core; value = v } }, [])
-          | None ->
-              if Core.operative core then begin
-                let pk =
-                  Phase_king.create ~n:cfg.Sim.Config.n
-                    ~t_max:cfg.Sim.Config.t_max ~pid:st.pid
-                    ~participating:true ~input:(Core.candidate core)
-                in
-                let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
-                ( { st with phase = Fallback { core; pk } },
-                  List.map (fun (dst, m) -> (dst, Pk_msg m)) out )
-              end
-              else ({ st with phase = Waiting { core } }, []))
-      | Fallback { core; pk } ->
-          let local_round = round - core_rounds - 1 in
-          if local_round <= pk_rounds - 1 then begin
-            let pk, out =
-              Phase_king.step pk ~local_round:(local_round + 1)
-                ~inbox:(pk_inbox inbox)
-            in
-            ( { st with phase = Fallback { core; pk } },
-              List.map (fun (dst, m) -> (dst, Pk_msg m)) out )
-          end
-          else begin
-            (* line 18: agreement reached; broadcast and decide *)
-            let pk = Phase_king.finalize pk ~inbox:(pk_inbox inbox) in
-            match Phase_king.decision pk with
-            | Some v ->
-                ( { st with phase = Done { core; value = v } },
-                  broadcast st (Decided v) )
-            | None -> (st, [])
-          end
-      | Waiting { core } -> (
-          (* line 19: adopt any decision that reaches us *)
-          match decided_inbox inbox with
-          | Some v -> ({ st with phase = Done { core; value = v } }, [])
-          | None -> (st, []))
-
-    (* Same state machine on the mailbox path; emission order mirrors the
-       list path branch by branch. *)
-    let step_into _cfg st ~round ~inbox ~rand ~emit =
+    (* The whole state machine, once, for both engine paths. *)
+    let step_core st ~round ~ctx ~rand ~emit =
       match st.phase with
       | Done _ -> st
       | Voting core when round <= core_rounds ->
-          let msgs =
-            Core.step core ~slot:round ~inbox:(core_inbox_mb inbox) ~rand
-          in
-          List.iter (fun (dst, m) -> emit dst (Core_msg m)) msgs;
+          Core.step_into core ~slot:round ~iter:ctx.iter_core ~rand
+            ~emit:(fun dst m -> emit dst (Core_msg m));
           st
       | Voting core -> (
           (* round = core_rounds + 1: lines 15-16 *)
-          Core.finalize core ~inbox:(core_inbox_mb inbox);
+          Core.finalize_into core ~iter:ctx.iter_core;
           match Core.line16_decision core with
           | Some v -> { st with phase = Done { core; value = v } }
           | None ->
@@ -171,24 +150,22 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
                     ~t_max:cfg.Sim.Config.t_max ~pid:st.pid
                     ~participating:true ~input:(Core.candidate core)
                 in
-                let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
-                List.iter (fun (dst, m) -> emit dst (Pk_msg m)) out;
+                Phase_king.step_into pk ~local_round:1 ~iter:iter_empty
+                  ~emit:(fun dst m -> emit dst (Pk_msg m));
                 { st with phase = Fallback { core; pk } }
               end
               else { st with phase = Waiting { core } })
       | Fallback { core; pk } ->
           let local_round = round - core_rounds - 1 in
           if local_round <= pk_rounds - 1 then begin
-            let pk, out =
-              Phase_king.step pk ~local_round:(local_round + 1)
-                ~inbox:(pk_inbox_mb inbox)
-            in
-            List.iter (fun (dst, m) -> emit dst (Pk_msg m)) out;
-            { st with phase = Fallback { core; pk } }
+            Phase_king.step_into pk ~local_round:(local_round + 1)
+              ~iter:ctx.iter_pk
+              ~emit:(fun dst m -> emit dst (Pk_msg m));
+            st
           end
           else begin
-            (* line 18: agreement reached; broadcast and decide *)
-            let pk = Phase_king.finalize pk ~inbox:(pk_inbox_mb inbox) in
+            (* line 18: fix the fallback outcome; broadcast and decide *)
+            let pk = Phase_king.finalize_into pk ~iter:ctx.iter_pk in
             match Phase_king.decision pk with
             | Some v ->
                 let m = Decided v in
@@ -196,12 +173,36 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
                   if dst <> st.pid then emit dst m
                 done;
                 { st with phase = Done { core; value = v } }
-            | None -> st
+            | None ->
+                (* heard nothing all fallback long: resolve next round from
+                   the line-18 broadcasts (terminal — no re-finalizing) *)
+                { st with
+                  phase = Undecided { core; value = Phase_king.value pk }
+                }
           end
+      | Undecided { core; value } -> (
+          (* one round after line 18: adopt a broadcast decision if one
+             reached us, else our own fallback value (we were the lone
+             participant or are eclipsed-faulty); never broadcast *)
+          match ctx.first_decided () with
+          | Some v -> { st with phase = Done { core; value = v } }
+          | None -> { st with phase = Done { core; value } })
       | Waiting { core } -> (
-          match decided_inbox_mb inbox with
+          (* line 19: adopt any decision that reaches us *)
+          match ctx.first_decided () with
           | Some v -> { st with phase = Done { core; value = v } }
           | None -> st)
+
+    let step _cfg st ~round ~inbox ~rand =
+      let out = ref [] in
+      let st' =
+        step_core st ~round ~ctx:(ctx_of_list inbox) ~rand
+          ~emit:(fun dst m -> out := (dst, m) :: !out)
+      in
+      (st', List.rev !out)
+
+    let step_into _cfg st ~round ~inbox ~rand ~emit =
+      step_core st ~round ~ctx:(ctx_of_mailbox inbox) ~rand ~emit
 
     let observe st =
       let core = core_of st.phase in

@@ -15,6 +15,13 @@
     turns that whp-agreement into probability-1 agreement, falling back to
     the deterministic {!Phase_king} in the polynomially-unlikely residue.
 
+    The phase-king residue (a fallback participant that heard nothing —
+    only an eclipsed faulty process in-model) is resolved one round after
+    the fallback finalize: adopt the first [Decided] broadcast, otherwise
+    self-decide the phase-king working value. Without that step an
+    undecided participant would never terminate, since the safety-rule
+    deciders of line 26 broadcast nothing further.
+
     Randomness: only the sub-runs flip coins — x runs of size n/x cost
     ~x (n/x)^{3/2} = n^2 / T random bits at T ~ sqrt(n x) rounds, the
     trade-off curve of Table 1, row Thm 3. *)
@@ -94,8 +101,9 @@ let make_plan ~params (cfg : Sim.Config.t) ~x =
     sps;
   }
 
-let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
-    Sim.Protocol_intf.t =
+let iter_empty _f = ()
+
+let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
   let p = make_plan ~params cfg ~x in
   let n = cfg.Sim.Config.n in
   let module M = struct
@@ -120,37 +128,34 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
         decision = None;
       }
 
-    let broadcast st m =
-      let out = ref [] in
-      for dst = n - 1 downto 0 do
-        if dst <> st.pid then out := (dst, m) :: !out
-      done;
-      !out
+    let broadcast_into st m ~emit =
+      for dst = 0 to n - 1 do
+        if dst <> st.pid then emit dst m
+      done
 
-    let sub_inbox ~phase inbox =
-      List.filter_map
-        (fun (src, m) ->
+    (* Filtered views of the whole-inbox iterator: filtering happens
+       during iteration, so the buffered path never materializes a list. *)
+    let sub_iter ~phase iter f =
+      iter (fun src m ->
           match m with
-          | Sub (i, cm) when i = phase -> Some (src, cm)
+          | Sub (i, cm) when i = phase -> f src cm
           | Sub _ | Flood _ | Safety_vote _ | Safety_final _ | Pk_msg _
           | Decided _ ->
-              None)
-        inbox
+              ())
 
-    let pk_inbox inbox =
-      List.filter_map
-        (fun (src, m) ->
-          match m with Pk_msg pm -> Some (src, pm) | _ -> None)
-        inbox
+    let pk_iter iter f =
+      iter (fun src m ->
+          match m with
+          | Pk_msg pm -> f src pm
+          | Sub _ | Flood _ | Safety_vote _ | Safety_final _ | Decided _ -> ())
 
     (* Flood-round inbox processing: adopt the first flooded decision,
        disregard silent neighbors, drop to inoperative below Delta/3
        (lines 9-12 of Algorithm 4). *)
-    let process_flood st ~inbox =
+    let process_flood st ~iter =
       if st.operative then begin
         let received = Hashtbl.create 16 in
-        List.iter
-          (fun (src, m) ->
+        iter (fun src m ->
             match m with
             | Flood d ->
                 if
@@ -164,8 +169,7 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
                 end
             | Sub _ | Safety_vote _ | Safety_final _ | Pk_msg _ | Decided _
               ->
-                ())
-          inbox;
+                ());
         Array.iter
           (fun q ->
             if
@@ -177,15 +181,18 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
           st.operative <- false
       end
 
-    let flood_emission st =
-      if not st.operative then []
-      else
-        Array.fold_left
-          (fun acc q ->
-            if Hashtbl.mem st.disregarded q then acc
-            else (q, Flood st.consensus_decision) :: acc)
-          []
-          (Expander.neighbors p.graph st.pid)
+    (* The neighbor array is walked backwards to keep the old fold-consed
+       wire order; the disregarded test is per-neighbor, so the direction
+       does not change what each neighbor receives. One shared record. *)
+    let flood_emission_into st ~emit =
+      if st.operative then begin
+        let fm = Flood st.consensus_decision in
+        let nb = Expander.neighbors p.graph st.pid in
+        for i = Array.length nb - 1 downto 0 do
+          let q = nb.(i) in
+          if not (Hashtbl.mem st.disregarded q) then emit q fm
+        done
+      end
 
     (* Line 13: adopt the flooded decision as the candidate for the next
        phase; reset the per-phase flood slate. *)
@@ -197,8 +204,8 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
 
     (* Truncated sub-run finalize (the paper's "terminated at line 16"):
        keep the value only if the sub-run actually produced a decision. *)
-    let finalize_sub st ~inbox =
-      Core.finalize st.core ~inbox:(sub_inbox ~phase:st.my_phase inbox);
+    let finalize_sub st ~iter =
+      Core.finalize_into st.core ~iter:(sub_iter ~phase:st.my_phase iter);
       if Core.decided_flag st.core || Core.got_decision st.core then begin
         st.b <- Core.candidate st.core;
         st.consensus_decision <- Some st.b
@@ -207,31 +214,28 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
 
     (* Lines 18-22: one all-to-all counting exchange with the Algorithm 1
        thresholds, deterministic in the middle window. *)
-    let process_safety_votes st ~inbox =
+    let process_safety_votes st ~iter =
       if st.operative then begin
         let c = [| 0; 0 |] in
         c.(st.b) <- 1;
-        List.iter
-          (fun (_, m) ->
+        iter (fun _src m ->
             match m with
             | Safety_vote v -> c.(v) <- c.(v) + 1
-            | Sub _ | Flood _ | Safety_final _ | Pk_msg _ | Decided _ -> ())
-          inbox;
+            | Sub _ | Flood _ | Safety_final _ | Pk_msg _ | Decided _ -> ());
         st.b <- Voting.update_deterministic ~ones:c.(1) ~zeros:c.(0) ~current:st.b;
         if Voting.ready ~ones:c.(1) ~zeros:c.(0) then st.decided_flag <- true
       end
 
-    let process_safety_final st ~inbox =
+    let process_safety_final st ~iter =
       if not (st.operative && st.decided_flag) then begin
-        let adopted =
-          List.fold_left
-            (fun acc (_, m) ->
-              match (acc, m) with
-              | None, Safety_final v -> Some v
-              | _ -> acc)
-            None inbox
-        in
-        match adopted with
+        let adopted = ref None in
+        iter (fun _src m ->
+            match m with
+            | Safety_final v when !adopted = None -> adopted := Some v
+            | Safety_final _ | Sub _ | Flood _ | Safety_vote _ | Pk_msg _
+            | Decided _ ->
+                ());
+        match !adopted with
         | Some v ->
             st.b <- v;
             st.got_final <- true
@@ -239,18 +243,17 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
       end
       else st.got_final <- true
 
-    let adopt_decided st ~inbox =
-      List.iter
-        (fun (_, m) ->
+    let adopt_decided st ~iter =
+      iter (fun _src m ->
           match m with
           | Decided v when st.decision = None -> st.decision <- Some v
           | Decided _ | Sub _ | Flood _ | Safety_vote _ | Safety_final _
           | Pk_msg _ ->
               ())
-        inbox
 
-    let step _cfg st ~round ~inbox ~rand =
-      if st.decision <> None then (st, [])
+    (* The whole state machine, once, for both engine paths. *)
+    let step_core st ~round ~iter ~rand ~emit =
+      if st.decision <> None then ()
       else if round < p.safety_start then begin
         (* round-robin stage: phase-local slots 1..phase_len; the core runs
            in slots 1..core_len for the phase's super-process, flooding in
@@ -262,79 +265,87 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
         (* entry processing (consume slot ls-1's messages) *)
         if ls = 1 then begin
           if phase > 0 then begin
-            process_flood st ~inbox;
+            process_flood st ~iter;
             end_of_phase st
           end;
           (* sub-runs start from the value adopted in earlier phases *)
           if in_my_phase then Core.set_candidate st.core st.b
         end
-        else if in_my_phase && ls = cl + 1 then finalize_sub st ~inbox
-        else if ls > p.phase_core_len + 1 then process_flood st ~inbox;
+        else if in_my_phase && ls = cl + 1 then finalize_sub st ~iter
+        else if ls > p.phase_core_len + 1 then process_flood st ~iter;
         (* emission *)
-        if in_my_phase && ls <= cl then begin
-          let out =
-            Core.step st.core ~slot:ls ~inbox:(sub_inbox ~phase inbox) ~rand
-          in
-          (st, List.map (fun (dst, m) -> (dst, Sub (phase, m))) out)
-        end
-        else if ls > p.phase_core_len then (st, flood_emission st)
-        else (st, [])
+        if in_my_phase && ls <= cl then
+          Core.step_into st.core ~slot:ls ~iter:(sub_iter ~phase iter) ~rand
+            ~emit:(fun dst m -> emit dst (Sub (phase, m)))
+        else if ls > p.phase_core_len then flood_emission_into st ~emit
       end
       else begin
         let s = round - p.safety_start in
         if s = 0 then begin
           (* entry: close the last phase; emission: safety vote (line 17) *)
-          process_flood st ~inbox;
+          process_flood st ~iter;
           end_of_phase st;
-          if st.operative then (st, broadcast st (Safety_vote st.b))
-          else (st, [])
+          if st.operative then broadcast_into st (Safety_vote st.b) ~emit
         end
         else if s = 1 then begin
-          process_safety_votes st ~inbox;
+          process_safety_votes st ~iter;
           if st.operative && st.decided_flag then
-            (st, broadcast st (Safety_final st.b))
-          else (st, [])
+            broadcast_into st (Safety_final st.b) ~emit
         end
         else if s = 2 then begin
-          process_safety_final st ~inbox;
-          if st.decided_flag || ((not st.operative) && st.got_final) then begin
-            st.decision <- Some st.b;
-            (st, [])
-          end
+          process_safety_final st ~iter;
+          if st.decided_flag || ((not st.operative) && st.got_final) then
+            st.decision <- Some st.b
           else if st.operative then begin
             (* line 28: deterministic fallback among operative undecided *)
             let pk =
               Phase_king.create ~n ~t_max:cfg.Sim.Config.t_max ~pid:st.pid
                 ~participating:true ~input:st.b
             in
-            let pk, out = Phase_king.step pk ~local_round:1 ~inbox:[] in
-            st.pk <- Some pk;
-            (st, List.map (fun (dst, m) -> (dst, Pk_msg m)) out)
+            Phase_king.step_into pk ~local_round:1 ~iter:iter_empty
+              ~emit:(fun dst m -> emit dst (Pk_msg m));
+            st.pk <- Some pk
           end
-          else (st, [])
         end
         else begin
           match st.pk with
           | Some pk when s <= p.pk_rounds + 1 ->
-              let pk, out =
-                Phase_king.step pk ~local_round:(s - 1)
-                  ~inbox:(pk_inbox inbox)
-              in
-              st.pk <- Some pk;
-              (st, List.map (fun (dst, m) -> (dst, Pk_msg m)) out)
+              Phase_king.step_into pk ~local_round:(s - 1)
+                ~iter:(pk_iter iter)
+                ~emit:(fun dst m -> emit dst (Pk_msg m))
           | Some pk when s = p.pk_rounds + 2 -> (
-              let pk = Phase_king.finalize pk ~inbox:(pk_inbox inbox) in
+              let pk = Phase_king.finalize_into pk ~iter:(pk_iter iter) in
               st.pk <- Some pk;
               match Phase_king.decision pk with
               | Some v ->
                   st.decision <- Some v;
-                  (st, broadcast st (Decided v))
-              | None -> (st, []))
-          | Some _ | None ->
-              adopt_decided st ~inbox;
-              (st, [])
+                  broadcast_into st (Decided v) ~emit
+              | None -> ())
+          | Some pk when s = p.pk_rounds + 3 ->
+              (* undecided residue: the safety-rule deciders of line 26
+                 never broadcast again, so adopt a fallback decider's
+                 [Decided] if one arrived, else self-decide the phase-king
+                 working value — fallback decisions come from the same
+                 line-15 adoption, so the values agree *)
+              adopt_decided st ~iter;
+              if st.decision = None then
+                st.decision <- Some (Phase_king.value pk)
+          | Some _ | None -> adopt_decided st ~iter
         end
       end
+
+    let step _cfg st ~round ~inbox ~rand =
+      let out = ref [] in
+      step_core st ~round
+        ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
+        ~rand
+        ~emit:(fun dst m -> out := (dst, m) :: !out);
+      (st, List.rev !out)
+
+    let step_into _cfg st ~round ~inbox ~rand ~emit =
+      step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~rand
+        ~emit;
+      st
 
     let observe st =
       {
@@ -357,7 +368,14 @@ let protocol ?(params = Params.default) ~x (cfg : Sim.Config.t) :
       | Safety_vote v | Safety_final v | Decided v -> Some v
       | Pk_msg (Phase_king.Value v) | Pk_msg (Phase_king.King v) -> Some v
   end in
-  (module M)
+  ((module M : Sim.Protocol_intf.S), (module M : Sim.Protocol_intf.BUFFERED))
+
+let protocol ?params ~x (cfg : Sim.Config.t) : Sim.Protocol_intf.t =
+  fst (make ?params ~x cfg)
+
+let protocol_buffered ?params ~x (cfg : Sim.Config.t) :
+    Sim.Protocol_intf.buffered =
+  snd (make ?params ~x cfg)
 
 (** Total schedule length, for sizing [Config.max_rounds]. *)
 let rounds_needed ?(params = Params.default) ~x (cfg : Sim.Config.t) =

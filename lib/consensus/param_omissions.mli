@@ -14,6 +14,11 @@ type msg
 val protocol : ?params:Params.t -> x:int -> Sim.Config.t -> Sim.Protocol_intf.t
 (** [x] is the super-process count, clamped to what the partition allows. *)
 
+val protocol_buffered :
+  ?params:Params.t -> x:int -> Sim.Config.t -> Sim.Protocol_intf.buffered
+(** The same protocol on the buffered engine path (shared iterator core —
+    byte-identical to {!protocol} through the shim). *)
+
 val rounds_needed : ?params:Params.t -> x:int -> Sim.Config.t -> int
 (** Total schedule length, for sizing [Config.max_rounds]. *)
 

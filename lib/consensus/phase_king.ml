@@ -20,7 +20,15 @@
       separates, and among kings 0..4t+1 at least one is a non-faulty
       participant (at most t faulty + 3t inoperative), after whose phase all
       non-faulty participants agree and stay strong.
-    The two cases are exactly the ones Lemma 11 of the paper needs. *)
+    The two cases are exactly the ones Lemma 11 of the paper needs.
+
+    A participant that hears *nothing* for the whole run (possible only for
+    a faulty process fully eclipsed by the adversary) ends with
+    [decision = None] rather than fabricating a decision from its own echo —
+    the caller owns the residue (Algorithm 1 lines 18-19 resolve it by
+    adopting a broadcast decision). Both engine paths share one
+    iterator-driven core: the list-based entry points wrap the [_into]
+    variants, so the two paths are byte-identical by construction. *)
 
 type msg = Value of int | King of int
 
@@ -32,6 +40,7 @@ type t = {
   mutable v : int;
   mutable maj : int;
   mutable strong : bool;
+  mutable heard : bool;  (** received any fallback message this run *)
   mutable decision : int option;
 }
 
@@ -51,31 +60,37 @@ let create ~n ~t_max ~pid ~participating ~input =
     v = input;
     maj = input;
     strong = false;
+    heard = false;
     decision = None;
   }
 
 let king_of_phase st phase = phase mod st.n
 
-let broadcast st m =
-  let out = ref [] in
-  for dst = st.n - 1 downto 0 do
-    if dst <> st.pid then out := (dst, m) :: !out
-  done;
-  !out
+(* Inbox iterators: the list path feeds [iter_of_list], the buffered path
+   iterates its mailbox directly — no intermediate (src, msg) list. *)
+let iter_of_list inbox f = List.iter (fun (src, m) -> f src m) inbox
+
+let broadcast_into st m ~emit =
+  for dst = 0 to st.n - 1 do
+    if dst <> st.pid then emit dst m
+  done
 
 (* Adoption rule executed on entry to a phase, consuming the previous
    phase's king message. *)
-let adopt st ~prev_phase ~inbox =
+let adopt st ~prev_phase ~iter =
   let king = king_of_phase st prev_phase in
   let king_value =
     if king = st.pid && st.participating then Some st.maj
-    else
-      List.fold_left
-        (fun acc (src, m) ->
-          match (acc, m) with
-          | None, King v when src = king -> Some v
-          | _ -> acc)
-        None inbox
+    else begin
+      let acc = ref None in
+      iter (fun src m ->
+          match m with
+          | King v when src = king ->
+              st.heard <- true;
+              if !acc = None then acc := Some v
+          | King _ | Value _ -> ());
+      !acc
+    end
   in
   if st.strong then st.v <- st.maj
   else
@@ -84,84 +99,109 @@ let adopt st ~prev_phase ~inbox =
 (* Counting rule executed on entry to a phase's second round, consuming the
    participants' value broadcasts. Own value counts (no self-messages go
    through the engine). *)
-let count st ~inbox =
+let count st ~iter =
   let c = [| 0; 0 |] in
   if st.participating then c.(st.v) <- c.(st.v) + 1;
-  List.iter
-    (fun (_, m) -> match m with Value v -> c.(v) <- c.(v) + 1 | King _ -> ())
-    inbox;
+  iter (fun _src m ->
+      match m with
+      | Value v ->
+          st.heard <- true;
+          c.(v) <- c.(v) + 1
+      | King _ -> ());
   let m_p = c.(0) + c.(1) in
   let maj = if c.(1) >= c.(0) then 1 else 0 in
   st.maj <- (if m_p = 0 then st.v else maj);
   st.strong <- m_p > 0 && 2 * c.(maj) > m_p + (4 * st.t_max)
 
+(** Iterator core of {!step}: consumes the inbox through [iter] and hands
+    outgoing messages to [emit] (ascending destination order, one shared
+    message record per broadcast). *)
+let step_into st ~local_round ~iter ~emit =
+  if st.participating then begin
+    let phase = (local_round - 1) / 2 in
+    if local_round mod 2 = 1 then begin
+      if phase > 0 then adopt st ~prev_phase:(phase - 1) ~iter;
+      broadcast_into st (Value st.v) ~emit
+    end
+    else begin
+      count st ~iter;
+      if king_of_phase st phase = st.pid then
+        broadcast_into st (King st.maj) ~emit
+    end
+  end
+
 (** [step st ~local_round ~inbox]: local rounds are 1-based and run from 1
     to [rounds ~t_max]. Odd rounds broadcast values (and first apply the
     previous king's verdict); even rounds count and let the king speak. *)
 let step st ~local_round ~inbox =
-  if not st.participating then (st, [])
-  else begin
-    let phase = (local_round - 1) / 2 in
-    if local_round mod 2 = 1 then begin
-      if phase > 0 then adopt st ~prev_phase:(phase - 1) ~inbox;
-      (st, broadcast st (Value st.v))
-    end
-    else begin
-      count st ~inbox;
-      let out =
-        if king_of_phase st phase = st.pid then broadcast st (King st.maj)
-        else []
-      in
-      (st, out)
-    end
-  end
+  let out = ref [] in
+  step_into st ~local_round ~iter:(iter_of_list inbox) ~emit:(fun dst m ->
+      out := (dst, m) :: !out);
+  (st, List.rev !out)
 
-(** Consume the last phase's king message and fix the decision. *)
-let finalize st ~inbox =
+(** Iterator core of {!finalize}: consume the last phase's king message and
+    fix the decision — unless the participant heard nothing at all, in
+    which case the run ends undecided (see the header note). *)
+let finalize_into st ~iter =
   if st.participating then begin
-    adopt st ~prev_phase:(phases ~t_max:st.t_max - 1) ~inbox;
-    st.decision <- Some st.v
+    adopt st ~prev_phase:(phases ~t_max:st.t_max - 1) ~iter;
+    st.decision <- (if st.heard then Some st.v else None)
   end;
   st
 
+let finalize st ~inbox = finalize_into st ~iter:(iter_of_list inbox)
 let decision st = st.decision
-
+let value st = st.v
+let heard st = st.heard
 let msg_bits = function Value _ -> 2 | King _ -> 2
 
 (* --- standalone protocol wrapper --- *)
 
 let rounds_needed (cfg : Sim.Config.t) = rounds ~t_max:cfg.t_max + 1
 
-(** Phase-king as a standalone {!Sim.Protocol_intf.S} protocol: every
-    process participates, the decision lands one round after the last
-    phase (the {!finalize} round). Deterministic; tolerates adaptive
-    omissions for t < n/6 (the strong-threshold separation argument). *)
-let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t =
-  (module struct
-    type nonrec state = t
-    type nonrec msg = msg
+(** Phase-king as a standalone protocol (both engine paths): every process
+    participates, the decision lands one round after the last phase (the
+    {!finalize} round). Deterministic; tolerates adaptive omissions for
+    t < n/6 (the strong-threshold separation argument) — at that budget a
+    non-faulty process always hears a co-participant, so only fully
+    eclipsed faulty processes can end undecided. *)
+module M = struct
+  type nonrec state = t
+  type nonrec msg = msg
 
-    let name = "phase-king"
+  let name = "phase-king"
 
-    let init (cfg : Sim.Config.t) ~pid ~input =
-      create ~n:cfg.n ~t_max:cfg.t_max ~pid ~participating:true ~input
+  let init (cfg : Sim.Config.t) ~pid ~input =
+    create ~n:cfg.n ~t_max:cfg.t_max ~pid ~participating:true ~input
 
-    let step (cfg : Sim.Config.t) st ~round ~inbox ~rand:_ =
-      let last = rounds ~t_max:cfg.t_max in
-      if round <= last then step st ~local_round:round ~inbox
-      else if round = last + 1 then (finalize st ~inbox, [])
-      else (st, [])
+  let step (cfg : Sim.Config.t) st ~round ~inbox ~rand:_ =
+    let last = rounds ~t_max:cfg.t_max in
+    if round <= last then step st ~local_round:round ~inbox
+    else if round = last + 1 then (finalize st ~inbox, [])
+    else (st, [])
 
-    let observe st =
-      {
-        Sim.View.candidate = Some st.v;
-        operative = true;
-        decided = st.decision;
-      }
+  let step_into (cfg : Sim.Config.t) st ~round ~inbox ~rand:_ ~emit =
+    let last = rounds ~t_max:cfg.t_max in
+    let iter f = Sim.Mailbox.iter inbox f in
+    if round <= last then step_into st ~local_round:round ~iter ~emit
+    else if round = last + 1 then ignore (finalize_into st ~iter : t);
+    st
 
-    let msg_bits = msg_bits
-    let msg_hint = function Value v -> Some v | King v -> Some v
-  end)
+  let observe st =
+    {
+      Sim.View.candidate = Some st.v;
+      operative = true;
+      decided = st.decision;
+    }
+
+  let msg_bits = msg_bits
+  let msg_hint = function Value v -> Some v | King v -> Some v
+end
+
+let protocol (_cfg : Sim.Config.t) : Sim.Protocol_intf.t = (module M)
+
+let protocol_buffered (_cfg : Sim.Config.t) : Sim.Protocol_intf.buffered =
+  (module M)
 
 let builder : Sim.Protocol_intf.builder =
   (module struct

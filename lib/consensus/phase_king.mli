@@ -31,16 +31,45 @@ val step : t -> local_round:int -> inbox:(int * msg) list -> t * (int * msg) lis
     values (after applying the previous king's verdict), even rounds count
     and let the king speak. *)
 
+val step_into :
+  t ->
+  local_round:int ->
+  iter:((int -> msg -> unit) -> unit) ->
+  emit:(int -> msg -> unit) ->
+  unit
+(** Iterator core of {!step}: [iter f] must call [f src m] for every inbox
+    message in delivery order (a mailbox iterates directly — no
+    intermediate list); outgoing messages go to [emit] in the exact order
+    {!step} would list them. Both engine paths run this same core. *)
+
 val finalize : t -> inbox:(int * msg) list -> t
-(** Consume the last king message and fix the decision. *)
+(** Consume the last king message and fix the decision. A participant that
+    received no fallback message during the whole run ends with
+    [decision = None] instead of echoing its own value — the caller owns
+    that residue (Algorithm 1 lines 18-19). *)
+
+val finalize_into : t -> iter:((int -> msg -> unit) -> unit) -> t
+(** Iterator core of {!finalize}; same [iter] contract as {!step_into}. *)
 
 val decision : t -> int option
+
+val value : t -> int
+(** Current working value — what {!finalize} would decide when the
+    participant has heard at least one message. *)
+
+val heard : t -> bool
+(** Whether any fallback message has been received this run. *)
+
 val msg_bits : msg -> int
 
 val protocol : Sim.Config.t -> Sim.Protocol_intf.t
 (** Phase-king as a standalone protocol: all processes participate; the
     decision lands at round [rounds ~t_max + 1] (the finalize round).
     Deterministic, omission-tolerant for t < n/6. *)
+
+val protocol_buffered : Sim.Config.t -> Sim.Protocol_intf.buffered
+(** The same standalone protocol on the buffered engine path (shared
+    iterator core — byte-identical to {!protocol} through the shim). *)
 
 val rounds_needed : Sim.Config.t -> int
 (** Engine rounds the standalone protocol needs: [rounds ~t_max + 1]. *)

@@ -57,14 +57,17 @@ let all : entry list =
       Consensus.Flood.builder;
     make ~model:Crash ~kind:Consensus
       ~max_t:(fun n -> n / 4)
-      ~min_n:2 Consensus.Early_stopping.builder;
+      ~min_n:2 ~buffered:Consensus.Early_stopping.protocol_buffered
+      Consensus.Early_stopping.builder;
     make ~model:Crash ~kind:Consensus
       ~max_t:(fun n -> n / 8)
       ~min_n:2
+      ~buffered:(fun cfg -> Consensus.Bjbo.protocol_buffered cfg)
       (Consensus.Bjbo.builder ());
     make ~model:Crash ~kind:Consensus
       ~max_t:(fun n -> n / 31)
       ~min_n:4
+      ~buffered:(fun cfg -> Consensus.Crash_subquadratic.protocol_buffered cfg)
       (Consensus.Crash_subquadratic.builder ());
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> n / 4)
@@ -72,7 +75,8 @@ let all : entry list =
       Consensus.Dolev_strong.builder;
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> (n - 1) / 6)
-      ~min_n:2 Consensus.Phase_king.builder;
+      ~min_n:2 ~buffered:Consensus.Phase_king.protocol_buffered
+      Consensus.Phase_king.builder;
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> n / 31)
       ~min_n:4
@@ -81,11 +85,14 @@ let all : entry list =
     make ~model:Omission ~kind:Consensus
       ~max_t:(fun n -> n / 61)
       ~min_n:8
+      ~buffered:(fun cfg -> Consensus.Param_omissions.protocol_buffered ~x:2 cfg)
       (Consensus.Param_omissions.builder ~x:2 ());
     make ~model:Omission
       ~kind:(Broadcast { source = 0 })
       ~max_t:(fun n -> n / 8)
       ~min_n:4
+      ~buffered:(fun cfg ->
+        Consensus.Operative_broadcast.protocol_buffered ~source:0 cfg)
       (Consensus.Operative_broadcast.builder ~source:0 ());
   ]
 

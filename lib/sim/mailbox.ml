@@ -74,6 +74,17 @@ let to_list t =
   done;
   !acc
 
+(** [true] iff slots are in non-decreasing [peer] order — the engine's
+    post-delivery debug assertion: the backward survivor push fills every
+    inbox pre-sorted, so sortedness is a contract to check, not work to
+    redo. *)
+let is_sorted_by_peer t =
+  let ok = ref true in
+  for i = 1 to t.len - 1 do
+    if t.peers.(i - 1) > t.peers.(i) then ok := false
+  done;
+  !ok
+
 (** Stable in-place insertion sort by ascending [peer] — the monomorphic
     replacement for the engine's old [List.sort (fun (a,_) (b,_) ->
     compare a b)]: same ascending-peer order, equal peers keep their

@@ -9,12 +9,12 @@ let mean xs =
 
 let variance xs =
   let n = Array.length xs in
-  if n < 2 then 0.
-  else begin
-    let m = mean xs in
-    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs in
-    acc /. float_of_int (n - 1)
-  end
+  (* A sample variance over fewer than two points is undefined; silently
+     returning 0 masked insufficient-sample bugs in bench seed-averaging. *)
+  if n < 2 then invalid_arg "Stats.variance: need at least two samples";
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs in
+  acc /. float_of_int (n - 1)
 
 let stddev xs = sqrt (variance xs)
 

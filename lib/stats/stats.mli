@@ -5,9 +5,13 @@ val mean : float array -> float
 (** Raises [Invalid_argument] on an empty array. *)
 
 val variance : float array -> float
-(** Sample variance (n-1 denominator); 0 for fewer than two points. *)
+(** Sample variance (n-1 denominator). Raises [Invalid_argument] for fewer
+    than two points — an undefined variance is a caller bug (insufficient
+    samples), not a zero. *)
 
 val stddev : float array -> float
+(** [sqrt (variance xs)]; raises like {!variance} for fewer than two
+    points. *)
 
 val quantile : float -> float array -> float
 (** Linear-interpolation quantile; [q] in [0, 1]. Sorts with

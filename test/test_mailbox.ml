@@ -1,7 +1,9 @@
 (* Property tests for the engine's flat message buffer (Sim.Mailbox):
    insertion order through growth, reset-by-count reuse never leaking
-   stale entries, and the monomorphic stable sort agreeing with the old
-   [List.sort] ordering the legacy engine used. *)
+   stale entries, the monomorphic stable sort agreeing with the old
+   [List.sort] ordering the legacy engine used, and the protocols'
+   mailbox-native filtered iteration agreeing with the legacy
+   list-materializing [List.filter_map] path. *)
 
 let qcheck t =
   QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xb0f |]) t
@@ -64,6 +66,73 @@ let qcheck_sort =
       in
       Sim.Mailbox.to_list mb = expected)
 
+let qcheck_sorted_flag =
+  QCheck.Test.make ~name:"is_sorted_by_peer agrees with the list order"
+    ~count:300 load (fun pushes ->
+      let mb = Sim.Mailbox.create () in
+      fill mb pushes;
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      let before =
+        Sim.Mailbox.is_sorted_by_peer mb
+        = non_decreasing (List.map fst pushes)
+      in
+      Sim.Mailbox.sort_by_peer mb;
+      before && Sim.Mailbox.is_sorted_by_peer mb)
+
+(* The buffered protocols filter their whole-inbox iterator during
+   iteration (pk_iter / sub_iter-style views) instead of materializing a
+   filtered (src, msg) list. Check the two against each other on
+   arbitrary mailboxes with duplicate peers. *)
+type tagged = A of int | B of int
+
+let tagged_load =
+  QCheck.(small_list (pair (int_range 0 7) (pair bool small_int)))
+
+let fill_tagged mb pushes =
+  List.iter
+    (fun (peer, (is_a, v)) ->
+      Sim.Mailbox.push mb ~peer (if is_a then A v else B v))
+    pushes
+
+let filter_iter mb f =
+  Sim.Mailbox.iter mb (fun src m -> match m with A v -> f src v | B _ -> ())
+
+let filtered_list mb =
+  List.filter_map
+    (fun (src, m) -> match m with A v -> Some (src, v) | B _ -> None)
+    (Sim.Mailbox.to_list mb)
+
+let collect_filtered mb =
+  let acc = ref [] in
+  filter_iter mb (fun src v -> acc := (src, v) :: !acc);
+  List.rev !acc
+
+let qcheck_filter_equiv =
+  QCheck.Test.make
+    ~name:"filtered iteration = List.filter_map over to_list" ~count:300
+    tagged_load (fun pushes ->
+      let mb = Sim.Mailbox.create () in
+      fill_tagged mb pushes;
+      collect_filtered mb = filtered_list mb)
+
+let qcheck_filter_reuse =
+  QCheck.Test.make
+    ~name:"filtered view survives growth and clear-then-refill" ~count:100
+    QCheck.(pair (int_range 100 300) tagged_load)
+    (fun (len, second) ->
+      (* grow well past the hinted capacity with duplicate peers *)
+      let mb = Sim.Mailbox.create ~hint:1 () in
+      for i = 0 to len - 1 do
+        Sim.Mailbox.push mb ~peer:(i mod 5) (if i mod 3 = 0 then A i else B i)
+      done;
+      let first_ok = collect_filtered mb = filtered_list mb in
+      Sim.Mailbox.clear mb;
+      fill_tagged mb second;
+      first_ok && collect_filtered mb = filtered_list mb)
+
 let test_bounds () =
   let mb = Sim.Mailbox.create () in
   Sim.Mailbox.push mb ~peer:3 "x";
@@ -83,5 +152,8 @@ let suite =
     qcheck qcheck_growth;
     qcheck qcheck_reuse;
     qcheck qcheck_sort;
+    qcheck qcheck_sorted_flag;
+    qcheck qcheck_filter_equiv;
+    qcheck qcheck_filter_reuse;
     Alcotest.test_case "bounds checks and clear semantics" `Quick test_bounds;
   ]

@@ -200,6 +200,81 @@ let test_fixed_epoch_params () =
   let o = run ~n:36 ~params inputs in
   ignore (check_consensus ~what:"fixed-1-epoch" ~inputs o)
 
+(* Regression for the undecided-fallback residue (Algorithm 1 lines
+   18-19): corrupt one fallback participant and omit every message TO it
+   for the whole phase-king window, so its fallback run ends having heard
+   nothing. It must not fabricate a decision from its own candidate — the
+   old code finalized the phase-king state into an unconditional decision
+   (and then kept re-finalizing it), letting the eclipsed process decide a
+   value that can differ from the agreed one. Post-fix it either adopts a
+   line-18 [Decided] broadcast or stays undecided (it is faulty; faulty
+   processes need not terminate) — never disagrees. *)
+let eclipse_fallback ~victim ~from_round ~to_round =
+  {
+    Sim.Adversary_intf.name = "eclipse-fallback";
+    create =
+      (fun _cfg _rand view ->
+        let r = view.Sim.View.round in
+        if r < from_round || r > to_round then Sim.View.no_op
+        else
+          {
+            Sim.View.new_faults = (if r = from_round then [ victim ] else []);
+            omit = (fun _src dst -> dst = victim);
+          });
+  }
+
+let test_undecided_fallback_regression () =
+  let n = 36 in
+  let t = 1 in
+  (* one epoch keeps the whp-decision from firing, forcing the fallback *)
+  let params =
+    { Consensus.Params.default with
+      Consensus.Params.epochs = Consensus.Params.Fixed 1
+    }
+  in
+  let members = Array.init n (fun i -> i) in
+  let fallback_runs = ref 0 in
+  List.iter
+    (fun seed ->
+      let shared =
+        Consensus.Core.make_shared ~members ~seed ~params ~t_max:t ()
+      in
+      let v_rounds = Consensus.Core.rounds shared in
+      let p_rounds = Consensus.Phase_king.rounds ~t_max:t in
+      let victim = 1 in
+      (* the fallback exchanges messages sent in rounds V+1 .. V+P *)
+      let adversary =
+        eclipse_fallback ~victim ~from_round:(v_rounds + 1)
+          ~to_round:(v_rounds + p_rounds)
+      in
+      let inputs = mixed n in
+      let o = run ~n ~t ~seed ~adversary ~params inputs in
+      Alcotest.(check bool)
+        (Printf.sprintf "non-faulty decided (seed %d)" seed)
+        true
+        (Sim.Engine.all_nonfaulty_decided o);
+      (match o.decided_round with
+      | Some r when r > v_rounds + 1 -> incr fallback_runs
+      | _ -> ());
+      match Sim.Engine.agreed_decision o with
+      | None ->
+          Alcotest.failf "agreement violated among non-faulty (seed %d)" seed
+      | Some agreed ->
+          Array.iteri
+            (fun pid d ->
+              match d with
+              | Some dv ->
+                  Alcotest.(check int)
+                    (Printf.sprintf
+                       "pid %d must not fabricate a decision (seed %d)" pid
+                       seed)
+                    agreed dv
+              | None -> ())
+            o.decisions)
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "the fallback window was actually exercised" true
+    (!fallback_runs > 0)
+
 let test_vote_log () =
   (* the Figure-3 trace hook records one event per operative process per
      epoch *)
@@ -246,6 +321,8 @@ let suite =
       test_decided_round_within_schedule;
     Alcotest.test_case "fixed 1-epoch params (fallback path)" `Quick
       test_fixed_epoch_params;
+    Alcotest.test_case "undecided-fallback residue regression" `Quick
+      test_undecided_fallback_regression;
     Alcotest.test_case "Figure-3 vote log" `Quick test_vote_log;
   ]
 

@@ -86,6 +86,46 @@ let test_pk_survives_vote_splitter () =
   Alcotest.(check int) "decides at finalize round" (pk_rounds 2) (decided o);
   ignore (agreed o)
 
+let test_pk_undecided_residue () =
+  (* a participant that hears nothing across the whole fallback run ends
+     with [decision = None] instead of echoing its own input — the caller
+     owns that residue (Algorithm 1 lines 18-19) *)
+  let t_max = 1 in
+  let pk =
+    ref
+      (Consensus.Phase_king.create ~n:7 ~t_max ~pid:3 ~participating:true
+         ~input:1)
+  in
+  for lr = 1 to Consensus.Phase_king.rounds ~t_max do
+    let pk', _out = Consensus.Phase_king.step !pk ~local_round:lr ~inbox:[] in
+    pk := pk'
+  done;
+  let fin = Consensus.Phase_king.finalize !pk ~inbox:[] in
+  Alcotest.(check bool) "never heard" false (Consensus.Phase_king.heard fin);
+  Alcotest.(check (option int))
+    "undecided residue" None
+    (Consensus.Phase_king.decision fin);
+  Alcotest.(check int) "working value preserved" 1
+    (Consensus.Phase_king.value fin)
+
+let test_pk_heard_decides () =
+  (* a single received fallback message is enough to clear the residue *)
+  let t_max = 1 in
+  let pk =
+    ref
+      (Consensus.Phase_king.create ~n:7 ~t_max ~pid:3 ~participating:true
+         ~input:1)
+  in
+  for lr = 1 to Consensus.Phase_king.rounds ~t_max do
+    let inbox = if lr = 2 then [ (0, Consensus.Phase_king.Value 0) ] else [] in
+    let pk', _out = Consensus.Phase_king.step !pk ~local_round:lr ~inbox in
+    pk := pk'
+  done;
+  let fin = Consensus.Phase_king.finalize !pk ~inbox:[] in
+  Alcotest.(check bool) "heard" true (Consensus.Phase_king.heard fin);
+  Alcotest.(check bool) "decided" true
+    (Consensus.Phase_king.decision fin <> None)
+
 (* --- dolev-strong --- *)
 
 let test_ds_fault_free () =
@@ -143,6 +183,10 @@ let suite =
       test_pk_crash_schedule;
     Alcotest.test_case "phase-king survives vote splitter" `Quick
       test_pk_survives_vote_splitter;
+    Alcotest.test_case "phase-king undecided residue" `Quick
+      test_pk_undecided_residue;
+    Alcotest.test_case "phase-king heard clears residue" `Quick
+      test_pk_heard_decides;
     Alcotest.test_case "dolev-strong fault-free rounds" `Quick
       test_ds_fault_free;
     Alcotest.test_case "dolev-strong crash schedule" `Quick

@@ -10,10 +10,20 @@ let test_mean () =
 let test_variance () =
   Alcotest.check feq "variance" 2.5 (Stats.variance [| 1.; 2.; 3.; 4.; 5. |]);
   Alcotest.check feq "constant" 0. (Stats.variance [| 3.; 3.; 3. |]);
-  Alcotest.check feq "singleton" 0. (Stats.variance [| 3. |])
+  (* a sample variance over fewer than two points is undefined — the old
+     silent 0. masked degenerate benchmark summaries *)
+  Alcotest.check_raises "singleton rejected"
+    (Invalid_argument "Stats.variance: need at least two samples") (fun () ->
+      ignore (Stats.variance [| 3. |]));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.variance: need at least two samples") (fun () ->
+      ignore (Stats.variance [||]))
 
 let test_stddev () =
-  Alcotest.check feq "stddev" (sqrt 2.5) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |])
+  Alcotest.check feq "stddev" (sqrt 2.5) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |]);
+  Alcotest.check_raises "singleton rejected"
+    (Invalid_argument "Stats.variance: need at least two samples") (fun () ->
+      ignore (Stats.stddev [| 3. |]))
 
 let test_median () =
   Alcotest.check feq "odd" 3. (Stats.median [| 5.; 1.; 3. |]);
