@@ -134,6 +134,10 @@ let trace_format = ref Trace.Jsonl
 let tracing_on () =
   !trace_metrics || !trace_tail_rounds > 0 || !trace_dir <> None
 
+(* --net SPEC: base lossy-link transport spec for the kind="net"
+   experiment (the sweep still varies the drop rate around it) *)
+let net_base : Net.Spec.t option ref = ref None
+
 (* --seeds N: override each experiment's default per-point seed list *)
 let seeds_override : int option ref = ref None
 
@@ -246,6 +250,12 @@ let quarantine (f : Supervise.failure) =
           ("limit", Out.F limit); ("actual", Out.F actual);
           ("at_round", Out.I at_round);
         ]
+    | Supervise.Degraded { induced; adversarial; t_max; residual } ->
+        [
+          ("failure", Out.S "degraded"); ("induced_faults", Out.I induced);
+          ("adversarial_faults", Out.I adversarial); ("t_max", Out.I t_max);
+          ("residual_losses", Out.I residual);
+        ]
   in
   let trace =
     (* the tail's lines are already JSON event objects *)
@@ -310,7 +320,14 @@ let measure ?on_round ?buffered proto cfg ~adversary ~inputs =
     else None
   in
   let collector =
-    if !trace_metrics then Some (Trace.Metrics.collector ()) else None
+    (* under --stable-json the collector gets a constant clock: per-round
+       wall_s stays 0 and two stable traced runs are byte-identical — the
+       default gettimeofday clock is unreachable in stable mode *)
+    if !trace_metrics then
+      if Out.is_stable () then
+        Some (Trace.Metrics.collector ~clock:(fun () -> 0.) ())
+      else Some (Trace.Metrics.collector ())
+    else None
   in
   let file_sink =
     match trace_file_path () with

@@ -49,6 +49,7 @@ let experiments =
     ("abl-spread", Ablations.abl_spread);
     ("abl-epochs", Ablations.abl_epochs);
     ("micro-engine", Micro.engine_bench);
+    ("net", Netbench.net);
   ]
 
 let () =
@@ -68,6 +69,7 @@ let () =
   let trace_dir = ref "" in
   let trace_format = ref "jsonl" in
   let trace_tail = ref 0 in
+  let net_spec = ref "" in
   let spec =
     [
       ("--quick", Arg.Set quick, "smaller sweeps");
@@ -129,6 +131,10 @@ let () =
         Arg.Set_int trace_tail,
         "K  keep the last K rounds of events per run; quarantine records \
          then embed the tail (0 = off)" );
+      ( "--net",
+        Arg.Set_string net_spec,
+        "SPEC  base lossy-link spec for the \"net\" experiment (same syntax \
+         as consensus_sim --net; the sweep varies the drop rate around it)" );
     ]
   in
   Arg.parse spec
@@ -142,6 +148,12 @@ let () =
   Exec.set_default_jobs !jobs;
   Bench_util.Out.set_stable !stable;
   Bench_util.seeds_override := (if !seeds <= 0 then None else Some !seeds);
+  (if !net_spec <> "" then
+     match Net.Spec.of_string !net_spec with
+     | Ok s -> Bench_util.net_base := Some s
+     | Error m ->
+         Printf.eprintf "%s\n" m;
+         exit 2);
   Bench_util.trace_metrics := !trace;
   Bench_util.trace_tail_rounds := max 0 !trace_tail;
   (match Trace.format_of_string !trace_format with

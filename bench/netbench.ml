@@ -1,0 +1,212 @@
+(* kind="net" experiment: message inflation and effective-round overhead of
+   the lossy-link transport (lib/net) vs. loss rate, for three protocols
+   spanning the registry — flood (constant-round), dolev-strong (t+1
+   rounds) and optimal-omissions (the paper's Algorithm 1). The retry
+   budget is sized so every swept loss rate is fully masked (residual = 0,
+   no induced faults); the degradation path itself is exercised by the CLI
+   soak job and test/test_net.ml. *)
+
+open Bench_util
+
+type case = {
+  id : string;
+  n : int;
+  t : int;
+  build : Sim.Config.t -> Sim.Protocol_intf.any;
+  rounds_for : Sim.Config.t -> int;
+}
+
+let cases ~quick =
+  [
+    {
+      id = "flood";
+      n = (if quick then 32 else 48);
+      t = 4;
+      build = (fun cfg -> Sim.Protocol_intf.Buffered (Consensus.Flood.protocol_buffered cfg));
+      rounds_for = (fun cfg -> cfg.Sim.Config.t_max + 3);
+    };
+    {
+      id = "dolev-strong";
+      n = (if quick then 16 else 24);
+      t = 2;
+      build =
+        (fun cfg ->
+          Sim.Protocol_intf.Buffered (Consensus.Dolev_strong.protocol_buffered cfg));
+      rounds_for = (fun cfg -> cfg.Sim.Config.t_max + 3);
+    };
+    {
+      id = "optimal";
+      n = (if quick then 31 else 62);
+      t = (if quick then 1 else 2);
+      build =
+        (fun cfg ->
+          Sim.Protocol_intf.Buffered
+            (Consensus.Optimal_omissions.protocol_buffered cfg));
+      rounds_for = (fun cfg -> Consensus.Optimal_omissions.rounds_needed cfg + 10);
+    };
+  ]
+
+type net_measure = {
+  rounds : int;
+  decided : bool;
+  messages : int;  (** sent, the engine's count *)
+  delivered : int;  (** exchanges the transport actually carried *)
+  attempts : int;
+  retransmits : int;
+  residual : int;
+  induced : int;
+  slots : int;
+  net_rounds : int;
+}
+
+(* journal codec; the decoder rejects torn rows *)
+let nm_to_string m =
+  Printf.sprintf "%d %b %d %d %d %d %d %d %d %d" m.rounds m.decided m.messages
+    m.delivered m.attempts m.retransmits m.residual m.induced m.slots
+    m.net_rounds
+
+let nm_of_string s =
+  match String.split_on_char ' ' s with
+  | [ r; d; ms; dl; a; rt; rs; ind; sl; nr ] -> (
+      try
+        Some
+          {
+            rounds = int_of_string r;
+            decided = bool_of_string d;
+            messages = int_of_string ms;
+            delivered = int_of_string dl;
+            attempts = int_of_string a;
+            retransmits = int_of_string rt;
+            residual = int_of_string rs;
+            induced = int_of_string ind;
+            slots = int_of_string sl;
+            net_rounds = int_of_string nr;
+          }
+      with _ -> None)
+  | _ -> None
+
+(* The sweep's base spec: --net on bench/main.exe overrides it; the sweep
+   then varies only the drop rate. retries=8 masks drop=0.2 with residual
+   probability ~(0.36)^9 per exchange — comfortably below one residual per
+   campaign, so the experiment measures overhead, not degradation. *)
+let base_spec () =
+  match !net_base with
+  | Some s -> s
+  | None -> { Net.Spec.default with Net.Spec.retries = 8 }
+
+let run_case case drop seed =
+  let spec = { (base_spec ()) with Net.Spec.drop } in
+  let cfg0 = Sim.Config.make ~n:case.n ~t_max:case.t ~seed () in
+  let cfg = { cfg0 with Sim.Config.max_rounds = case.rounds_for cfg0 } in
+  let proto = case.build cfg in
+  let inputs = Array.init case.n (fun i -> i mod 2) in
+  match
+    Supervise.run_net ~budget:!budget ~net:spec proto cfg
+      ~adversary:Adversary.none ~inputs
+  with
+  | Error (kind, _) -> raise (Supervise.Breach kind)
+  | Ok (o, d) ->
+      {
+        rounds =
+          (match o.Sim.Engine.decided_round with
+          | Some r -> r
+          | None -> o.Sim.Engine.rounds_total);
+        decided = o.Sim.Engine.decided_round <> None;
+        messages = o.Sim.Engine.messages_sent;
+        delivered = o.Sim.Engine.messages_sent - o.Sim.Engine.messages_omitted;
+        attempts = d.Net.Degradation.attempts;
+        retransmits = d.Net.Degradation.retransmits;
+        residual = d.Net.Degradation.residual;
+        induced = List.length d.Net.Degradation.induced_faulty;
+        slots = d.Net.Degradation.slots;
+        net_rounds = d.Net.Degradation.active_rounds;
+      }
+
+let net ~quick () =
+  section "NET: lossy-link transport — inflation and round overhead vs loss";
+  Printf.printf
+    "Each exchange is data + ack with retransmit/backoff (retries=%d); a \
+     fault-free\nexchange costs 2 virtual sub-slots, so overhead 1.00 means \
+     no recovery cost.\nResidual losses (and induced omission faults) must \
+     stay 0 at every swept rate.\n"
+    (base_spec ()).Net.Spec.retries;
+  let drops = if quick then [ 0.0; 0.1 ] else [ 0.0; 0.05; 0.1; 0.2 ] in
+  let seeds = Bench_util.seed_list (if quick then [ 1; 2 ] else [ 1; 2; 3 ]) in
+  List.iter
+    (fun case ->
+      subsection
+        (Printf.sprintf "%s, n = %d, t = %d, adversary = none" case.id case.n
+           case.t);
+      row "%6s %8s %10s %10s %8s %10s %9s %9s %8s\n" "drop" "rounds" "msgs"
+        "attempts" "retx" "inflation" "overhead" "residual" "induced";
+      let per_drop =
+        sweep
+          ~codec:(nm_to_string, nm_of_string)
+          ~point:(fun drop -> Printf.sprintf "%s/drop=%g" case.id drop)
+          ~replay:(fun drop seed ->
+            Printf.sprintf
+              "dune exec bin/consensus_sim.exe -- run -p %s -n %d -t %d \
+               --seed %d -a none --net %s"
+              case.id case.n case.t seed
+              (Net.Spec.to_string { (base_spec ()) with Net.Spec.drop }))
+          ~params:drops ~seeds
+          (fun drop seed -> run_case case drop seed)
+      in
+      List.iter
+        (fun (drop, ms) ->
+          let label = Printf.sprintf "%s drop=%g" case.id drop in
+          match ms with
+          | [] -> skip_point ~label ~reason:"no surviving runs (all quarantined)"
+          | ms ->
+              let k = float_of_int (List.length ms) in
+              let favg g =
+                List.fold_left (fun a m -> a +. float_of_int (g m)) 0. ms /. k
+              in
+              let isum g = List.fold_left (fun a m -> a + g m) 0 ms in
+              let attempts = favg (fun m -> m.attempts) in
+              let delivered = favg (fun m -> m.delivered) in
+              let inflation =
+                if delivered > 0. then attempts /. delivered else 1.
+              in
+              let overhead =
+                let slots = favg (fun m -> m.slots) in
+                let nr = favg (fun m -> m.net_rounds) in
+                if nr > 0. then slots /. (2. *. nr) else 1.
+              in
+              let residual = isum (fun m -> m.residual) in
+              let induced = isum (fun m -> m.induced) in
+              row "%6g %8.1f %10.0f %10.0f %8.0f %10.3f %9.2f %9d %8d\n" drop
+                (favg (fun m -> m.rounds))
+                (favg (fun m -> m.messages))
+                attempts
+                (favg (fun m -> m.retransmits))
+                inflation overhead residual induced;
+              Out.emit ~kind:"net"
+                [
+                  ("protocol", Out.S case.id);
+                  ("n", Out.I case.n);
+                  ("t", Out.I case.t);
+                  ("drop", Out.F drop);
+                  ("retries", Out.I (base_spec ()).Net.Spec.retries);
+                  ( "spec",
+                    Out.S
+                      (Net.Spec.to_string
+                         { (base_spec ()) with Net.Spec.drop }) );
+                  ("seeds", Out.I (List.length ms));
+                  ("rounds", Out.F (favg (fun m -> m.rounds)));
+                  ("messages", Out.F (favg (fun m -> m.messages)));
+                  ("attempts", Out.F attempts);
+                  ("retransmits", Out.F (favg (fun m -> m.retransmits)));
+                  ("inflation", Out.F inflation);
+                  ("slots_per_round", Out.F (overhead *. 2.));
+                  ("overhead", Out.F overhead);
+                  ("residual", Out.I residual);
+                  ("induced_faults", Out.I induced);
+                ];
+              if residual > 0 || induced > 0 then
+                Printf.printf
+                  "  warning (%s): %d residual losses / %d induced faults — \
+                   raise retries\n"
+                  label residual induced)
+        per_drop)
+    (cases ~quick)

@@ -43,6 +43,22 @@ let make_adversary kind =
   | `Staggered -> Adversary.staggered_crash ~per_round:3
   | `Eclipse -> Adversary.eclipse ~victim:0
 
+(* flag spellings, for replay one-liners *)
+let adversary_name = function
+  | `None -> "none"
+  | `Crash -> "crash"
+  | `Random -> "random"
+  | `Group -> "group"
+  | `Splitter -> "splitter"
+  | `Staggered -> "staggered"
+  | `Eclipse -> "eclipse"
+
+let inputs_name = function
+  | `Mixed -> "mixed"
+  | `Ones -> "ones"
+  | `Zeros -> "zeros"
+  | `Random -> "random"
+
 (* Protocols are resolved through the registry — one BUILDER per protocol,
    plus the buffered constructor when the protocol has been ported to the
    allocation-free engine path. "param" is the one extra spelling:
@@ -88,7 +104,7 @@ let print_tail lines =
     List.iter (fun l -> Fmt.pr "  %s@." l) lines
   end
 
-let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
+let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
     trace_dir trace_format trace_tail legacy_engine =
   let builder, buffered = resolve_builder protocol ~x in
   let module B = (val builder : Sim.Protocol_intf.BUILDER) in
@@ -96,6 +112,13 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
   Option.iter ensure_dir trace_dir;
   let budget = budget_of_flags bflags in
   let failures = ref 0 in
+  let net_replay ~seed spec =
+    Printf.sprintf
+      "dune exec bin/consensus_sim.exe -- run -p %s -n %d -t %d --seed %d -a \
+       %s -i %s --net %s"
+      protocol n t seed (adversary_name adversary) (inputs_name inputs_kind)
+      (Net.Spec.to_string spec)
+  in
   let run_one ~seed ~verbose =
     let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
     let cfg = { cfg0 with Sim.Config.max_rounds = B.rounds_needed cfg0 } in
@@ -142,20 +165,66 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
       match sinks with [] -> None | l -> Some (Trace.Sink.tee_all l)
     in
     let result =
-      Supervise.run_any ?trace:tsink ~budget proto cfg
-        ~adversary:(make_adversary adversary) ~inputs
+      (* unify the linkless and lossy-link paths on one result shape; the
+         degradation report rides along when --net is given *)
+      match net with
+      | None -> (
+          match
+            Supervise.run_any ?trace:tsink ~budget proto cfg
+              ~adversary:(make_adversary adversary) ~inputs
+          with
+          | Ok o -> Ok (o, None)
+          | Error (k, p) -> Error (k, Option.map (fun o -> (o, None)) p))
+      | Some spec -> (
+          match
+            Supervise.run_net ?trace:tsink ~budget ~net:spec proto cfg
+              ~adversary:(make_adversary adversary) ~inputs
+          with
+          | Ok (o, d) -> Ok (o, Some d)
+          | Error (k, p) -> Error (k, Option.map (fun (o, d) -> (o, Some d)) p))
     in
     Option.iter (fun (path, s) -> Trace.Sink.close s;
         if verbose then Fmt.pr "trace written      : %s@." path)
       file_sink;
     match result with
+    | Error ((Supervise.Degraded _ as kind), partial) ->
+        (* beyond the omission model: a structured quarantine record with a
+           replay one-liner, never a consensus verdict *)
+        incr failures;
+        let spec = Option.get net in
+        let f =
+          {
+            Supervise.index = 0;
+            label = Printf.sprintf "run/%s/seed%d" protocol seed;
+            seed = Some seed;
+            replay = Some (net_replay ~seed spec);
+            kind;
+            elapsed_s = 0.;
+            trace =
+              (match tail with Some tl -> Trace.Tail.lines tl | None -> []);
+          }
+        in
+        Fmt.pr "seed %-4d: DEGRADED BEYOND MODEL — %a@." seed
+          Supervise.pp_failure_kind kind;
+        (match partial with
+        | Some (_, Some d) ->
+            Fmt.pr "  degradation: %s@." (Net.Degradation.to_json d)
+        | _ -> ());
+        Fmt.pr "%s@." (Supervise.failure_json f);
+        Fmt.pr "  replay: %s@." (net_replay ~seed spec)
     | Error (kind, _) ->
         incr failures;
         Fmt.pr "seed %-4d: SUPERVISION FAILURE — %a@." seed
           Supervise.pp_failure_kind kind;
         Option.iter (fun tl -> print_tail (Trace.Tail.lines tl)) tail
-    | Ok o ->
-        let agreement = Sim.Engine.agreed_decision o in
+    | Ok (o, dopt) ->
+        let agreement =
+          (* with a lossy link, agreement is judged over the effective
+             (adversarial + induced) fault set *)
+          match dopt with
+          | Some d -> Net.Degradation.agreed_decision d o
+          | None -> Sim.Engine.agreed_decision o
+        in
         if verbose then begin
           Fmt.pr "protocol           : %s@." proto_name;
           Fmt.pr "n / t / seed       : %d / %d / %d@." n t seed;
@@ -169,7 +238,13 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags trace
             | None -> " (DID NOT TERMINATE within max_rounds)");
           Fmt.pr "messages / bits    : %d / %d@." o.messages_sent o.bits_sent;
           Fmt.pr "rand calls / bits  : %d / %d@." o.rand_calls o.rand_bits;
-          Fmt.pr "omitted messages   : %d@." o.messages_omitted
+          Fmt.pr "omitted messages   : %d@." o.messages_omitted;
+          (* printed only for a spec that can actually fault, so a
+             drop=0-style --net run stays byte-identical to a linkless one *)
+          match (dopt, net) with
+          | Some d, Some spec when not (Net.Spec.zero_fault spec) ->
+              Fmt.pr "net degradation    : %s@." (Net.Degradation.to_json d)
+          | _ -> ()
         end
         else
           Fmt.pr "seed %-4d: rounds=%-5d msgs=%-8d bits=%-9d rand_bits=%-7d %s@."
@@ -527,15 +602,39 @@ let run_term =
              instead of the buffered engine path (results are bit-identical \
              either way; this exists for comparison and debugging).")
   in
+  let net =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "net" ] ~docv:"SPEC"
+          ~doc:
+            "Run over a lossy-link transport: comma-separated key=value \
+             fields — drop=P, dup=P, delay=P[:MAX], stall=P[:LEN], \
+             burst=TO_BAD:TO_GOOD:DROP, retries=N, backoff=BASE[:CAP]. \
+             Residual losses the retry budget cannot mask become induced \
+             omission faults; a run whose induced + adversarial faults \
+             exceed t is reported as degraded (exit 1, replay one-liner), \
+             never as a consensus result.")
+  in
   Term.(
-    const (fun protocol n t x seed seeds adversary inputs bflags trace
+    const (fun protocol n t x seed seeds adversary inputs bflags net trace
                trace_dir trace_format trace_tail legacy_engine ->
         let t = match t with Some t -> t | None -> max 1 (n / 31) in
-        run_cmd protocol n t x seed seeds adversary inputs bflags trace
+        let net =
+          Option.map
+            (fun s ->
+              match Net.Spec.of_string s with
+              | Ok spec -> spec
+              | Error m ->
+                  Fmt.epr "%s@." m;
+                  Stdlib.exit 2)
+            net
+        in
+        run_cmd protocol n t x seed seeds adversary inputs bflags net trace
           trace_dir trace_format trace_tail legacy_engine)
     $ protocol $ n_arg $ t_arg $ x_arg $ seed_arg $ seeds_arg $ adversary
-    $ inputs $ budget_term $ trace_flag $ trace_dir_arg $ trace_format_arg
-    $ trace_tail_arg
+    $ inputs $ budget_term $ net $ trace_flag $ trace_dir_arg
+    $ trace_format_arg $ trace_tail_arg
         ~doc:
           "Keep the last $(docv) rounds of events; printed when a run fails \
            or disagrees (0 = off)."

@@ -169,10 +169,15 @@ let check_broadcast (s : Scenario.t) ~source ~final_operative
     protocols run on the buffered engine path unless [force_legacy] pins
     them to the list-based shim (the equivalence suite uses this to compare
     the two). *)
-let run_entry ?trace ?(force_legacy = false) (entry : Registry.entry)
+let run_entry ?trace ?net ?(force_legacy = false) (entry : Registry.entry)
     (s : Scenario.t) : run_result =
   let checked = Registry.in_model entry s in
   let cfg = config_for entry s in
+  let link =
+    match net with
+    | None -> None
+    | Some spec -> Some (Net.Transport.link (Net.Transport.create spec cfg))
+  in
   let source =
     match entry.kind with
     | Registry.Broadcast { source } -> Some source
@@ -186,7 +191,7 @@ let run_entry ?trace ?(force_legacy = false) (entry : Registry.entry)
     else Registry.build_any entry cfg
   in
   match
-    Sim.Engine.run_any ?trace protocol cfg ~adversary
+    Sim.Engine.run_any ?trace ?link protocol cfg ~adversary
       ~inputs:s.Scenario.inputs
   with
   | exception e ->

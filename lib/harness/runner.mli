@@ -33,14 +33,17 @@ val config_for : Registry.entry -> Scenario.t -> Sim.Config.t
 
 val run_entry :
   ?trace:Trace.Sink.t ->
+  ?net:Net.Spec.t ->
   ?force_legacy:bool ->
   Registry.entry ->
   Scenario.t ->
   run_result
 (** Run one protocol on a scenario. [trace], if given, receives the run's
-    engine event stream (see {!Sim.Engine.run}). Ported protocols run on
-    the buffered engine path unless [force_legacy] pins them to the
-    list-based shim. *)
+    engine event stream (see {!Sim.Engine.run}). [net], if given, runs the
+    scenario over a lossy-link transport (a fresh [Net.Transport] per call;
+    residual losses are not model-checked here — use [Supervise.run_net]
+    for the degradation report). Ported protocols run on the buffered
+    engine path unless [force_legacy] pins them to the list-based shim. *)
 
 val run :
   ?protocols:Registry.entry list ->

@@ -103,6 +103,7 @@ type instance = {
     ?on_round:(round:int -> View.envelope array -> unit) ->
     ?stop:(progress -> bool) ->
     ?trace:Trace.Sink.t ->
+    ?link:Link_intf.t ->
     adversary:Adversary_intf.t ->
     inputs:int array ->
     unit ->
@@ -197,7 +198,7 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
   in
   (* Per-sender omission flags, grown to the largest outbox seen. *)
   let omit_scratch = ref Bytes.empty in
-  let run_i ?on_round ?stop ?trace ~(adversary : Adversary_intf.t)
+  let run_i ?on_round ?stop ?trace ?link ~(adversary : Adversary_intf.t)
       ~(inputs : int array) () : outcome =
     if Array.length inputs <> n then
       invalid_arg "Engine.run: inputs length must equal n";
@@ -205,6 +206,12 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
       (fun b ->
         if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be bits")
       inputs;
+    (* The link layer's per-run state (fault-model channels, retransmit
+       stats) is reset from the run seed before anything else happens, so a
+       link — like an instance — can be reused across runs purely. *)
+    (match link with
+    | None -> ()
+    | Some l -> l.Link_intf.reset ~seed:cfg.seed);
     let counter = Rand.Counter.create () in
     let root = Rand.create ~counter ~seed:(Int64.of_int cfg.seed) () in
     (* One scratch stream, reseeded per step; shares [root]'s counter. *)
@@ -373,7 +380,15 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
          sender transmitted them; the adversary suppressed delivery. The
          forward pass decides omissions (in emission order — omission
          predicates may draw randomness per call); the backward pass pushes
-         survivors so each destination mailbox comes out sorted by sender. *)
+         survivors so each destination mailbox comes out sorted by sender.
+         Messages the adversary let through additionally cross the [link]
+         layer (when one is plugged in): a [Lost] verdict is a residual
+         link loss, marked '\002' — dropped like an omission but neither
+         checked against the fault set nor counted in [messages_omitted];
+         the transport accounts for it as an induced omission fault. *)
+      (match link with
+      | None -> ()
+      | Some l -> l.Link_intf.begin_round ~round:r);
       for pid = 0 to n - 1 do
         let ob = outboxes.(pid) in
         let len = Mailbox.length ob in
@@ -398,12 +413,25 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
                     (Trace.Event.Omit { round = r; src = pid; dst })
             end
             else begin
-              Bytes.unsafe_set om i '\000';
-              match tr with
-              | None -> ()
-              | Some t ->
-                  Trace.Sink.emit t.sink
-                    (Trace.Event.Deliver { round = r; src = pid; dst })
+              let delivered =
+                match link with
+                | None -> true
+                | Some l -> (
+                    match
+                      l.Link_intf.transmit ~trace ~round:r ~src:pid ~dst
+                    with
+                    | Link_intf.Delivered -> true
+                    | Link_intf.Lost -> false)
+              in
+              if delivered then begin
+                Bytes.unsafe_set om i '\000';
+                match tr with
+                | None -> ()
+                | Some t ->
+                    Trace.Sink.emit t.sink
+                      (Trace.Event.Deliver { round = r; src = pid; dst })
+              end
+              else Bytes.unsafe_set om i '\002'
             end
           done;
           for i = len - 1 downto 0 do
@@ -467,9 +495,9 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
   { run_i }
 
 (** Execute one run through a reusable {!instance}. *)
-let run_instance ?on_round ?stop ?trace (i : instance)
+let run_instance ?on_round ?stop ?trace ?link (i : instance)
     ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
-  i.run_i ?on_round ?stop ?trace ~adversary ~inputs ()
+  i.run_i ?on_round ?stop ?trace ?link ~adversary ~inputs ()
 
 (** [run protocol cfg ~adversary ~inputs] executes a full run of a
     list-based protocol through the compatibility shim. [on_round], if
@@ -479,22 +507,25 @@ let run_instance ?on_round ?stop ?trace (i : instance)
     cumulative metric counters; returning [true] ends the run exactly as
     hitting [max_rounds] would — the supervision layer uses it to extend
     the [max_rounds] semantics to message/randomness/wall-clock budgets. *)
-let run ?on_round ?stop ?trace (module P : Protocol_intf.S) (cfg : Config.t)
-    ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
+let run ?on_round ?stop ?trace ?link (module P : Protocol_intf.S)
+    (cfg : Config.t) ~(adversary : Adversary_intf.t) ~(inputs : int array) :
+    outcome =
   let i = instance (module Protocol_intf.Shim (P)) cfg in
-  i.run_i ?on_round ?stop ?trace ~adversary ~inputs ()
+  i.run_i ?on_round ?stop ?trace ?link ~adversary ~inputs ()
 
 (** Run a buffered protocol on the allocation-free path directly. *)
-let run_buffered ?on_round ?stop ?trace (p : Protocol_intf.buffered)
+let run_buffered ?on_round ?stop ?trace ?link (p : Protocol_intf.buffered)
     (cfg : Config.t) ~(adversary : Adversary_intf.t) ~(inputs : int array) :
     outcome =
   let i = instance p cfg in
-  i.run_i ?on_round ?stop ?trace ~adversary ~inputs ()
+  i.run_i ?on_round ?stop ?trace ?link ~adversary ~inputs ()
 
 (** Dispatch on whichever path the protocol supports. *)
-let run_any ?on_round ?stop ?trace (p : Protocol_intf.any) (cfg : Config.t)
-    ~(adversary : Adversary_intf.t) ~(inputs : int array) : outcome =
+let run_any ?on_round ?stop ?trace ?link (p : Protocol_intf.any)
+    (cfg : Config.t) ~(adversary : Adversary_intf.t) ~(inputs : int array) :
+    outcome =
   match p with
-  | Protocol_intf.Legacy p -> run ?on_round ?stop ?trace p cfg ~adversary ~inputs
+  | Protocol_intf.Legacy p ->
+      run ?on_round ?stop ?trace ?link p cfg ~adversary ~inputs
   | Protocol_intf.Buffered p ->
-      run_buffered ?on_round ?stop ?trace p cfg ~adversary ~inputs
+      run_buffered ?on_round ?stop ?trace ?link p cfg ~adversary ~inputs

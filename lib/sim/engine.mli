@@ -58,6 +58,7 @@ val run_instance :
   ?on_round:(round:int -> View.envelope array -> unit) ->
   ?stop:(progress -> bool) ->
   ?trace:Trace.Sink.t ->
+  ?link:Link_intf.t ->
   instance ->
   adversary:Adversary_intf.t ->
   inputs:int array ->
@@ -69,6 +70,7 @@ val run :
   ?on_round:(round:int -> View.envelope array -> unit) ->
   ?stop:(progress -> bool) ->
   ?trace:Trace.Sink.t ->
+  ?link:Link_intf.t ->
   Protocol_intf.t ->
   Config.t ->
   adversary:Adversary_intf.t ->
@@ -94,6 +96,16 @@ val run :
     equal-seed runs produce identical traces. When [trace] is absent no
     event is constructed (tracing is zero-cost off).
 
+    [link], if given, is the lossy-link transport hook (see
+    {!Link_intf}): it is reset from the run seed before the first round,
+    notified at the start of every round's communication phase, and
+    consulted once per message the adversary let through. A [Lost] verdict
+    drops the message like an omission but is {e not} model-checked (no
+    {!Illegal_plan}) and not counted in [messages_omitted] — residual link
+    losses are the transport layer's to account for as induced omission
+    faults. When [link] is absent the delivery loop is unchanged and
+    allocation-free (the link layer is zero-cost off).
+
     Raises [Invalid_argument] if [inputs] is not an n-vector of bits.
 
     The engine runs on reusable preallocated buffers (mailboxes, envelope
@@ -107,6 +119,7 @@ val run_buffered :
   ?on_round:(round:int -> View.envelope array -> unit) ->
   ?stop:(progress -> bool) ->
   ?trace:Trace.Sink.t ->
+  ?link:Link_intf.t ->
   Protocol_intf.buffered ->
   Config.t ->
   adversary:Adversary_intf.t ->
@@ -121,6 +134,7 @@ val run_any :
   ?on_round:(round:int -> View.envelope array -> unit) ->
   ?stop:(progress -> bool) ->
   ?trace:Trace.Sink.t ->
+  ?link:Link_intf.t ->
   Protocol_intf.any ->
   Config.t ->
   adversary:Adversary_intf.t ->

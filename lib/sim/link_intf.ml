@@ -1,0 +1,41 @@
+(** The engine's pluggable link layer.
+
+    The paper's model assumes a perfect synchronous network: the only
+    message loss comes from the adaptive omission adversary. A production
+    network also loses messages on its own, so the engine exposes one
+    delivery hook — consulted for every message the adversary let through —
+    that a transport layer (lib/net) implements with seeded link-fault
+    models plus ack/retransmit recovery.
+
+    The contract mirrors {!Adversary_intf}: the engine owns the call order
+    (ascending sender pid, emission order within a sender), the link owns
+    its private randomness, and everything is a pure function of the run
+    seed so runs stay bit-identical at any [--jobs] width. A [Lost] verdict
+    is {e not} an adversary omission: the engine neither checks it against
+    the fault set (no {!Engine.Illegal_plan}) nor counts it in
+    [messages_omitted] — residual losses are the transport's to account
+    for, as induced omission faults (see [Net.Degradation]). *)
+
+type verdict = Delivered | Lost
+
+type t = {
+  name : string;
+  reset : seed:int -> unit;
+      (** called once at the start of every run with the run's seed, before
+          any other hook — reseeds the link's private random stream and
+          clears all per-run state, so one link value can be reused across
+          runs (engine instances are) without state bleeding through *)
+  begin_round : round:int -> unit;
+      (** called once per executed round, before any [transmit] of that
+          round — advances time-dependent fault state (transient stalls,
+          per-round virtual-slot accounting) *)
+  transmit :
+    trace:Trace.Sink.t option -> round:int -> src:int -> dst:int -> verdict;
+      (** one synchronized exchange: deliver the [src] -> [dst] message of
+          [round], retransmitting within the transport's retry budget.
+          [Delivered] means the receiver got at least one copy; [Lost] is a
+          residual loss the budget could not mask. [trace] receives the
+          exchange's drop/dup/delay/retransmit/ack/degrade events; a
+          fault-free first-attempt exchange must emit nothing, so zero-fault
+          transports leave traces byte-identical to linkless runs. *)
+}

@@ -53,6 +53,7 @@ type failure_kind =
   | Crashed of { exn_text : string; backtrace : string }
   | Timeout of { limit_s : float; elapsed_s : float }
   | Budget_exceeded of breach
+  | Degraded of { induced : int; adversarial : int; t_max : int; residual : int }
 
 exception Breach of failure_kind
 exception Breach_traced of failure_kind * string list
@@ -86,6 +87,11 @@ let pp_failure_kind ppf = function
   | Budget_exceeded { metric; limit; actual; at_round } ->
       Fmt.pf ppf "budget exceeded: %s = %.0f > %.0f at round %d" metric actual
         limit at_round
+  | Degraded { induced; adversarial; t_max; residual } ->
+      Fmt.pf ppf
+        "degraded beyond model: %d induced + %d adversarial faults > t=%d (%d \
+         residual losses)"
+        induced adversarial t_max residual
 
 let pp_failure ppf f =
   Fmt.pf ppf "[%d] %s: %a" f.index f.label pp_failure_kind f.kind;
@@ -132,7 +138,13 @@ let failure_json f =
       str "metric" metric;
       field "limit" (Printf.sprintf "%.0f" limit);
       field "actual" (Printf.sprintf "%.0f" actual);
-      field "at_round" (string_of_int at_round));
+      field "at_round" (string_of_int at_round)
+  | Degraded { induced; adversarial; t_max; residual } ->
+      str "failure" "degraded";
+      field "induced_faults" (string_of_int induced);
+      field "adversarial_faults" (string_of_int adversarial);
+      field "t_max" (string_of_int t_max);
+      field "residual_losses" (string_of_int residual));
   field "elapsed_s" (Printf.sprintf "%.3f" f.elapsed_s);
   (* the trace tail's lines are already JSON objects (Trace.Event.to_json) *)
   if f.trace <> [] then field "trace" ("[" ^ String.concat "," f.trace ^ "]");
@@ -141,8 +153,8 @@ let failure_json f =
 
 (* --- supervised engine run --- *)
 
-let run_any ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
-    ~inputs =
+let run_any ?on_round ?trace ?link ?(budget = Budget.unlimited) proto cfg
+    ~adversary ~inputs =
   let started = Unix.gettimeofday () in
   let tripped = ref None in
   let stop (p : Sim.Engine.progress) =
@@ -170,7 +182,8 @@ let run_any ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
   in
   let stop = if Budget.is_unlimited budget then None else Some stop in
   match
-    Sim.Engine.run_any ?on_round ?stop ?trace proto cfg ~adversary ~inputs
+    Sim.Engine.run_any ?on_round ?stop ?trace ?link proto cfg ~adversary
+      ~inputs
   with
   | o -> (
       match !tripped with
@@ -192,9 +205,37 @@ let run_any ?on_round ?trace ?(budget = Budget.unlimited) proto cfg ~adversary
             },
           None )
 
-let run ?on_round ?trace ?budget proto cfg ~adversary ~inputs =
-  run_any ?on_round ?trace ?budget (Sim.Protocol_intf.Legacy proto) cfg
+let run ?on_round ?trace ?link ?budget proto cfg ~adversary ~inputs =
+  run_any ?on_round ?trace ?link ?budget (Sim.Protocol_intf.Legacy proto) cfg
     ~adversary ~inputs
+
+(* --- supervised run over a lossy link --- *)
+
+let run_net ?on_round ?trace ?budget ~net proto cfg ~adversary ~inputs =
+  let tr = Net.Transport.create net cfg in
+  let link = Net.Transport.link tr in
+  let report (o : Sim.Engine.outcome) =
+    Net.Degradation.of_transport tr ~faulty:o.Sim.Engine.faulty
+      ~t_max:cfg.Sim.Config.t_max
+  in
+  match run_any ?on_round ?trace ~link ?budget proto cfg ~adversary ~inputs with
+  | Ok o ->
+      let d = report o in
+      if d.Net.Degradation.beyond_model then
+        (* the run left the omission model: report degradation, never a
+           consensus result computed over too many faults *)
+        Error
+          ( Degraded
+              {
+                induced = List.length d.Net.Degradation.induced_faulty;
+                adversarial = List.length d.Net.Degradation.adversarial_faulty;
+                t_max = cfg.Sim.Config.t_max;
+                residual = d.Net.Degradation.residual;
+              },
+            Some (o, d) )
+      else Ok (o, d)
+  | Error (kind, partial) ->
+      Error (kind, Option.map (fun o -> (o, report o)) partial)
 
 (* --- quarantining map --- *)
 
@@ -342,15 +383,30 @@ module Chaos = struct
     Sim.Rand.shuffle rand idx;
     List.sort compare (Array.to_list (Array.sub idx 0 k))
 
-  type t = { crash : int list; straggle : int list; straggle_s : float }
+  type t = { crash_mask : Bytes.t; straggle_mask : Bytes.t; straggle_s : float }
+
+  (* Membership is precomputed into a byte mask at plan-construction time:
+     [wrap] runs once per task of a sweep, and a [List.mem] scan per task
+     over large victim lists is O(tasks * victims). *)
+  let mask_of l =
+    let hi = List.fold_left (fun a i -> max a i) (-1) l in
+    let m = Bytes.make (hi + 1) '\000' in
+    List.iter (fun i -> if i >= 0 then Bytes.set m i '\001') l;
+    m
+
+  let tagged m i = i >= 0 && i < Bytes.length m && Bytes.get m i = '\001'
 
   let make ?(crash = []) ?(straggle = []) ?(straggle_s = 0.2) () =
-    { crash; straggle; straggle_s }
+    {
+      crash_mask = mask_of crash;
+      straggle_mask = mask_of straggle;
+      straggle_s;
+    }
 
   let wrap t f i x =
-    if List.mem i t.crash then
+    if tagged t.crash_mask i then
       raise (Injected (Printf.sprintf "injected task failure at index %d" i));
-    if List.mem i t.straggle then Unix.sleepf t.straggle_s;
+    if tagged t.straggle_mask i then Unix.sleepf t.straggle_s;
     f i x
 
   let protocol ?pid ~crash_round (module P : Sim.Protocol_intf.S) :

@@ -56,6 +56,10 @@ type failure_kind =
   | Crashed of { exn_text : string; backtrace : string }
   | Timeout of { limit_s : float; elapsed_s : float }
   | Budget_exceeded of breach
+  | Degraded of { induced : int; adversarial : int; t_max : int; residual : int }
+      (** a lossy-link run left the omission model: the transport's induced
+          faults plus the adversary's exceeded [t_max] (see
+          [Net.Degradation] and {!run_net}) *)
 
 exception Breach of failure_kind
 (** Tasks running under {!map} may raise [Breach kind] to report a
@@ -100,12 +104,14 @@ val pp_failure : Format.formatter -> failure -> unit
 val failure_json : failure -> string
 (** The quarantine record as a single JSON-lines object (no trailing
     newline). Schema: [{"kind":"quarantine","index":i,"label":s,
-    "seed":i?,"replay":s?,"failure":"crashed"|"timeout"|"budget_exceeded",
+    "seed":i?,"replay":s?,
+    "failure":"crashed"|"timeout"|"budget_exceeded"|"degraded",
     ...kind-specific fields...,"elapsed_s":f}]. *)
 
 val run :
   ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
   ?trace:Trace.Sink.t ->
+  ?link:Sim.Link_intf.t ->
   ?budget:Budget.t ->
   Sim.Protocol_intf.t ->
   Sim.Config.t ->
@@ -124,6 +130,7 @@ val run :
 val run_any :
   ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
   ?trace:Trace.Sink.t ->
+  ?link:Sim.Link_intf.t ->
   ?budget:Budget.t ->
   Sim.Protocol_intf.any ->
   Sim.Config.t ->
@@ -132,7 +139,31 @@ val run_any :
   (Sim.Engine.outcome, failure_kind * Sim.Engine.outcome option) result
 (** {!run} generalised over the engine path: [Buffered] protocols run on
     the allocation-free {!Sim.Engine.run_buffered} path, [Legacy] ones
-    through the list-based shim. *)
+    through the list-based shim. [link] plugs a lossy transport into the
+    delivery loop (see {!Sim.Link_intf}); prefer {!run_net}, which also
+    computes the degradation report. *)
+
+val run_net :
+  ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
+  ?trace:Trace.Sink.t ->
+  ?budget:Budget.t ->
+  net:Net.Spec.t ->
+  Sim.Protocol_intf.any ->
+  Sim.Config.t ->
+  adversary:Sim.Adversary_intf.t ->
+  inputs:int array ->
+  ( Sim.Engine.outcome * Net.Degradation.t,
+    failure_kind * (Sim.Engine.outcome * Net.Degradation.t) option )
+  result
+(** {!run_any} over a lossy link described by [net]: builds the transport,
+    runs, then composes the transport's residual losses with the
+    adversary's fault set into a [Net.Degradation] report. When the
+    effective fault set exceeds [cfg.t_max] the run is beyond the omission
+    model: the result is [Error (Degraded _, Some (outcome, report))] — the
+    outcome is preserved for forensics but must not be reported as a
+    consensus result. Judge agreement of an [Ok] run with
+    [Net.Degradation.agreed_decision], which re-bases the check on the
+    effective fault set. *)
 
 val map :
   ?jobs:int ->
@@ -212,7 +243,8 @@ module Chaos : sig
     t
   (** A chaos plan over task indices: tasks in [crash] raise {!Injected};
       tasks in [straggle] sleep [straggle_s] (default 0.2 s) before
-      running. *)
+      running. Membership is precomputed into byte masks here, so {!wrap}
+      is O(1) per task regardless of victim-list length. *)
 
   val wrap : t -> (int -> 'a -> 'b) -> int -> 'a -> 'b
   (** Apply the plan to an indexed task function (the shape {!Exec.mapi}

@@ -34,6 +34,14 @@ module Event = struct
         rand_calls : int;
         rand_bits : int;
       }
+    (* Link-layer events (lib/net): emitted only by a lossy transport, never
+       by the engine itself, so linkless traces are unchanged. *)
+    | Drop of { round : int; src : int; dst : int; attempt : int }
+    | Dup of { round : int; src : int; dst : int; copies : int }
+    | Delay of { round : int; src : int; dst : int; slots : int }
+    | Retransmit of { round : int; src : int; dst : int; attempt : int; backoff : int }
+    | Ack of { round : int; src : int; dst : int; attempt : int }
+    | Degrade of { round : int; src : int; dst : int; attempts : int }
 
   let round = function
     | Round_start { round }
@@ -44,7 +52,13 @@ module Event = struct
     | Coin { round; _ }
     | Phase { round; _ }
     | Decide { round; _ }
-    | Round_end { round; _ } ->
+    | Round_end { round; _ }
+    | Drop { round; _ }
+    | Dup { round; _ }
+    | Delay { round; _ }
+    | Retransmit { round; _ }
+    | Ack { round; _ }
+    | Degrade { round; _ } ->
         round
 
   let equal (a : t) (b : t) = a = b
@@ -81,6 +95,30 @@ module Event = struct
         Printf.sprintf
           {|{"ev":"round-end","round":%d,"messages":%d,"bits":%d,"omitted":%d,"rand_calls":%d,"rand_bits":%d}|}
           round messages bits omitted rand_calls rand_bits
+    | Drop { round; src; dst; attempt } ->
+        Printf.sprintf
+          {|{"ev":"drop","round":%d,"src":%d,"dst":%d,"attempt":%d}|} round src
+          dst attempt
+    | Dup { round; src; dst; copies } ->
+        Printf.sprintf
+          {|{"ev":"dup","round":%d,"src":%d,"dst":%d,"copies":%d}|} round src
+          dst copies
+    | Delay { round; src; dst; slots } ->
+        Printf.sprintf
+          {|{"ev":"delay","round":%d,"src":%d,"dst":%d,"slots":%d}|} round src
+          dst slots
+    | Retransmit { round; src; dst; attempt; backoff } ->
+        Printf.sprintf
+          {|{"ev":"retransmit","round":%d,"src":%d,"dst":%d,"attempt":%d,"backoff":%d}|}
+          round src dst attempt backoff
+    | Ack { round; src; dst; attempt } ->
+        Printf.sprintf
+          {|{"ev":"ack","round":%d,"src":%d,"dst":%d,"attempt":%d}|} round src
+          dst attempt
+    | Degrade { round; src; dst; attempts } ->
+        Printf.sprintf
+          {|{"ev":"degrade","round":%d,"src":%d,"dst":%d,"attempts":%d}|} round
+          src dst attempts
 
   (* Parses exactly the flat one-line objects [to_json] writes: string
      values never contain commas or colons, so splitting is safe. *)
@@ -181,6 +219,55 @@ module Event = struct
                     rand_calls = int "rand_calls";
                     rand_bits = int "rand_bits";
                   }
+            | "drop" ->
+                Drop
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    attempt = int "attempt";
+                  }
+            | "dup" ->
+                Dup
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    copies = int "copies";
+                  }
+            | "delay" ->
+                Delay
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    slots = int "slots";
+                  }
+            | "retransmit" ->
+                Retransmit
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    attempt = int "attempt";
+                    backoff = int "backoff";
+                  }
+            | "ack" ->
+                Ack
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    attempt = int "attempt";
+                  }
+            | "degrade" ->
+                Degrade
+                  {
+                    round = int "round";
+                    src = int "src";
+                    dst = int "dst";
+                    attempts = int "attempts";
+                  }
             | _ -> raise Exit
           with
           | e -> Some e
@@ -214,6 +301,20 @@ module Event = struct
         Fmt.pf ppf
           "r%-4d round-end msgs=%d bits=%d omitted=%d rand=%d calls/%d bits"
           round messages bits omitted rand_calls rand_bits
+    | Drop { round; src; dst; attempt } ->
+        Fmt.pf ppf "r%-4d drop    %d -> %d (attempt %d)" round src dst attempt
+    | Dup { round; src; dst; copies } ->
+        Fmt.pf ppf "r%-4d dup     %d -> %d (%d copies)" round src dst copies
+    | Delay { round; src; dst; slots } ->
+        Fmt.pf ppf "r%-4d delay   %d -> %d (%d slots)" round src dst slots
+    | Retransmit { round; src; dst; attempt; backoff } ->
+        Fmt.pf ppf "r%-4d retransmit %d -> %d (attempt %d, backoff %d)" round
+          src dst attempt backoff
+    | Ack { round; src; dst; attempt } ->
+        Fmt.pf ppf "r%-4d ack     %d <- %d (attempt %d)" round src dst attempt
+    | Degrade { round; src; dst; attempts } ->
+        Fmt.pf ppf "r%-4d degrade %d -> %d lost after %d attempts" round src
+          dst attempts
 
   (* --- compact binary codec (tag byte + LEB128 varints) --- *)
 
@@ -227,6 +328,12 @@ module Event = struct
     | Phase _ -> 6
     | Decide _ -> 7
     | Round_end _ -> 8
+    | Drop _ -> 9
+    | Dup _ -> 10
+    | Delay _ -> 11
+    | Retransmit _ -> 12
+    | Ack _ -> 13
+    | Degrade _ -> 14
 
   let put_uv b n =
     if n < 0 then invalid_arg "Trace.Event: negative field in binary codec";
@@ -286,6 +393,25 @@ module Event = struct
         put_uv b omitted;
         put_uv b rand_calls;
         put_uv b rand_bits
+    | Drop { round; src; dst; attempt }
+    | Ack { round; src; dst; attempt }
+    | Degrade { round; src; dst; attempts = attempt } ->
+        put_uv b round;
+        put_uv b src;
+        put_uv b dst;
+        put_uv b attempt
+    | Dup { round; src; dst; copies = k }
+    | Delay { round; src; dst; slots = k } ->
+        put_uv b round;
+        put_uv b src;
+        put_uv b dst;
+        put_uv b k
+    | Retransmit { round; src; dst; attempt; backoff } ->
+        put_uv b round;
+        put_uv b src;
+        put_uv b dst;
+        put_uv b attempt;
+        put_uv b backoff
 
   exception Truncated
 
@@ -350,6 +476,37 @@ module Event = struct
         let omitted = uv () in
         let rand_calls = uv () in
         Round_end { round; messages; bits; omitted; rand_calls; rand_bits = uv () }
+    | 9 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        Drop { round; src; dst; attempt = uv () }
+    | 10 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        Dup { round; src; dst; copies = uv () }
+    | 11 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        Delay { round; src; dst; slots = uv () }
+    | 12 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        let attempt = uv () in
+        Retransmit { round; src; dst; attempt; backoff = uv () }
+    | 13 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        Ack { round; src; dst; attempt = uv () }
+    | 14 ->
+        let round = uv () in
+        let src = uv () in
+        let dst = uv () in
+        Degrade { round; src; dst; attempts = uv () }
     | t -> raise (Failure (Printf.sprintf "Trace: unknown binary tag %d" t))
 end
 
@@ -571,7 +728,9 @@ module Metrics = struct
               wall_s = clock () -. !started;
             }
             :: !acc;
-      | Event.Send _ | Event.Omit _ | Event.Deliver _ | Event.Phase _ -> ()
+      | Event.Send _ | Event.Omit _ | Event.Deliver _ | Event.Phase _
+      | Event.Drop _ | Event.Dup _ | Event.Delay _ | Event.Retransmit _
+      | Event.Ack _ | Event.Degrade _ -> ()
     in
     let summary () =
       let rounds = List.rev !acc in

@@ -53,6 +53,20 @@ module Event : sig
         rand_calls : int;
         rand_bits : int;
       }  (** per-round totals *)
+    | Drop of { round : int; src : int; dst : int; attempt : int }
+        (** the link lost attempt [attempt] of this exchange (lib/net only;
+            the engine never emits link events) *)
+    | Dup of { round : int; src : int; dst : int; copies : int }
+        (** the link delivered [copies] > 1 copies of one attempt *)
+    | Delay of { round : int; src : int; dst : int; slots : int }
+        (** one attempt arrived [slots] virtual sub-slots late *)
+    | Retransmit of { round : int; src : int; dst : int; attempt : int; backoff : int }
+        (** the synchronizer re-sent after waiting [backoff] sub-slots *)
+    | Ack of { round : int; src : int; dst : int; attempt : int }
+        (** the ack for attempt [attempt] reached the sender *)
+    | Degrade of { round : int; src : int; dst : int; attempts : int }
+        (** the retry budget ran dry: a residual loss, re-expressed as an
+            induced omission (see [Net.Degradation]) *)
 
   val round : t -> int
   val equal : t -> t -> bool

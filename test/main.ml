@@ -24,4 +24,5 @@ let () =
       ("trace", Test_trace.suite);
     ("mailbox", Test_mailbox.suite);
     ("engine-equiv", Test_engine_equiv.suite);
+    ("net", Test_net.suite);
     ]

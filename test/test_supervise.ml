@@ -359,6 +359,27 @@ let test_chaos_pick () =
     (Invalid_argument "Chaos.pick: need 0 <= k <= n") (fun () ->
       ignore (Supervise.Chaos.pick ~seed:1 ~n:3 ~k:4))
 
+(* The plan's membership masks are sized to the largest victim index:
+   tasks indexed beyond the masks (and with sparse victim lists, between
+   victims) must run untouched, and exactly the listed indices must raise. *)
+let test_chaos_mask_bounds () =
+  let plan = Supervise.Chaos.make ~crash:[ 1; 7 ] () in
+  let ran i =
+    try
+      Supervise.Chaos.wrap plan (fun _ j -> j * 2) i i |> ignore;
+      true
+    with Supervise.Chaos.Injected _ -> false
+  in
+  List.iter
+    (fun (i, expect) ->
+      Alcotest.(check bool) (Printf.sprintf "task %d" i) expect (ran i))
+    [ (0, true); (1, false); (2, true); (6, true); (7, false);
+      (8, true) (* first index past the mask *); (500, true) ];
+  (* an empty plan touches nothing at any index *)
+  let idle = Supervise.Chaos.make () in
+  Alcotest.(check int) "empty plan is identity" 84
+    (Supervise.Chaos.wrap idle (fun _ j -> j * 2) 123 42)
+
 let suite =
   [
     Alcotest.test_case "round budget breach" `Quick test_round_budget;
@@ -392,4 +413,6 @@ let suite =
     Alcotest.test_case "journal separator validation" `Quick
       test_journal_rejects_separators;
     Alcotest.test_case "chaos pick" `Quick test_chaos_pick;
+    Alcotest.test_case "chaos masks bound-checked and sparse-safe" `Quick
+      test_chaos_mask_bounds;
   ]

@@ -294,6 +294,68 @@ let test_counterexample_trace_tail () =
     (r.Harness.Runner.violations = []);
   Alcotest.(check bool) "tail is non-empty" true (Trace.Tail.lines tail <> [])
 
+(* --- net events --- *)
+
+(* The transport's link events (emitted by lib/net, never by the engine)
+   must survive both codecs like every other event. *)
+let net_events =
+  [
+    Trace.Event.Drop { round = 3; src = 1; dst = 2; attempt = 1 };
+    Trace.Event.Dup { round = 3; src = 0; dst = 7; copies = 2 };
+    Trace.Event.Delay { round = 4; src = 5; dst = 6; slots = 3 };
+    Trace.Event.Retransmit { round = 4; src = 1; dst = 2; attempt = 2; backoff = 1 };
+    Trace.Event.Retransmit { round = 9; src = 2; dst = 1; attempt = 5; backoff = 8 };
+    Trace.Event.Ack { round = 9; src = 2; dst = 1; attempt = 5 };
+    Trace.Event.Degrade { round = 12; src = 3; dst = 4; attempts = 9 };
+  ]
+
+let test_net_event_json () =
+  List.iter
+    (fun e ->
+      match Trace.Event.of_json (Trace.Event.to_json e) with
+      | Some e' ->
+          if not (Trace.Event.equal e e') then
+            Alcotest.failf "json roundtrip changed %s" (Trace.Event.to_json e)
+      | None ->
+          Alcotest.failf "json roundtrip lost %s" (Trace.Event.to_json e))
+    net_events
+
+let test_net_event_binary () =
+  let buf = Buffer.create 256 in
+  List.iter (Trace.Event.to_binary buf) net_events;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  List.iter
+    (fun e ->
+      let e' = Trace.Event.of_binary s pos in
+      if not (Trace.Event.equal e e') then
+        Alcotest.failf "binary roundtrip changed %s" (Trace.Event.to_json e))
+    net_events;
+  Alcotest.(check int) "all bytes consumed" (String.length s) !pos
+
+(* Regression for the --stable-json path: a metrics collector on a constant
+   clock must fold the same run into byte-identical summaries — no
+   Unix.gettimeofday can leak into stable output. *)
+let test_stable_collector_deterministic () =
+  let collect () =
+    let sink, summary = Trace.Metrics.collector ~clock:(fun () -> 0.) () in
+    let _ =
+      Sim.Engine.run ~trace:sink echo (cfg ())
+        ~adversary:(omission_adversary ()) ~inputs:(inputs 8)
+    in
+    summary ()
+  in
+  let a = collect () and b = collect () in
+  Alcotest.(check bool) "summaries identical" true (a = b);
+  Alcotest.(check (float 0.)) "no wall clock in stable summary" 0.
+    a.Trace.Metrics.wall_total_s;
+  List.iter
+    (fun (r : Trace.Metrics.per_round) ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "round %d wall_s" r.Trace.Metrics.round)
+        0. r.Trace.Metrics.wall_s)
+    a.Trace.Metrics.per_round
+
 (* --- off path --- *)
 
 let test_off_path_no_sink_calls () =
@@ -345,4 +407,10 @@ let suite =
       test_counterexample_trace_tail;
     Alcotest.test_case "no sink, no events (off path)" `Quick
       test_off_path_no_sink_calls;
+    Alcotest.test_case "net link events roundtrip as json" `Quick
+      test_net_event_json;
+    Alcotest.test_case "net link events roundtrip as binary" `Quick
+      test_net_event_binary;
+    Alcotest.test_case "stable collector is wall-clock free" `Quick
+      test_stable_collector_deterministic;
   ]
