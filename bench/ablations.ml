@@ -39,13 +39,30 @@ let abl_delta ~quick () =
   let t = max 1 (n / 31) in
   row "%8s %8s %10s %14s %14s %8s\n" "c" "Delta" "rounds" "comm bits"
     "min operative" "n-3t";
-  Supervise.map ~budget:!budget
+  let codec =
+    ( (fun (c, delta, m, min_ops) ->
+        Printf.sprintf "%d;%d;%s;%d" c delta (measure_to_string m) min_ops),
+      fun s ->
+        match String.split_on_char ';' s with
+        | [ c; delta; ms; mo ] -> (
+            try
+              Option.map
+                (fun m ->
+                  (int_of_string c, int_of_string delta, m, int_of_string mo))
+                (measure_of_string ms)
+            with _ -> None)
+        | _ -> None )
+  in
+  Supervise.Cached.map ~budget:!budget
     ~describe:(fun _ c ->
       {
         Supervise.d_label = Printf.sprintf "abl-delta/c=%d" c;
         d_seed = Some 1;
         d_replay = Some "dune exec bench/main.exe -- --only abl-delta";
       })
+    ?store:!store
+    ~key:(fun c -> Printf.sprintf "abl-delta|n=%d|c=%d" n c)
+    ~codec
     (fun c ->
       let params = { Consensus.Params.default with Consensus.Params.delta_c = c } in
       let m, min_ops =
@@ -78,13 +95,29 @@ let abl_spread ~quick () =
   let t = max 1 (n / 31) in
   row "%8s %10s %10s %14s %14s\n" "c" "rounds" "decided" "comm bits"
     "min operative";
-  Supervise.map ~budget:!budget
+  let codec =
+    ( (fun (c, m, min_ops) ->
+        Printf.sprintf "%d;%s;%d" c (measure_to_string m) min_ops),
+      fun s ->
+        match String.split_on_char ';' s with
+        | [ c; ms; mo ] -> (
+            try
+              Option.map
+                (fun m -> (int_of_string c, m, int_of_string mo))
+                (measure_of_string ms)
+            with _ -> None)
+        | _ -> None )
+  in
+  Supervise.Cached.map ~budget:!budget
     ~describe:(fun _ c ->
       {
         Supervise.d_label = Printf.sprintf "abl-spread/c=%d" c;
         d_seed = Some 1;
         d_replay = Some "dune exec bench/main.exe -- --only abl-spread";
       })
+    ?store:!store
+    ~key:(fun c -> Printf.sprintf "abl-spread|n=%d|c=%d" n c)
+    ~codec
     (fun c ->
       let params = { Consensus.Params.default with Consensus.Params.spread_c = c } in
       let m, min_ops =
@@ -130,7 +163,9 @@ let abl_epochs ~quick () =
   in
   let per_e =
     sweep ~codec:epoch_codec
-      ~point:(fun e -> Printf.sprintf "epochs=%d" e)
+      (* n in the point: quick and full campaigns use different sizes and
+         must not share cache entries under the same key *)
+      ~point:(fun e -> Printf.sprintf "n=%d/epochs=%d" n e)
       ~params:[ 1; 2; 4; 8; 12 ] ~seeds (fun e seed ->
         let params =
           { Consensus.Params.default with Consensus.Params.epochs = Consensus.Params.Fixed e }

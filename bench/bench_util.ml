@@ -212,6 +212,55 @@ let close_journal () =
       Supervise.Journal.close j;
       journal := None
 
+(* the content-addressed run cache behind --cache, or None when off. The
+   journal and the cache are complementary layers: the journal is one
+   campaign's crash log (keyed by experiment/point/seed, deleted when the
+   campaign completes), the cache is a cross-campaign memo keyed by run
+   content. [sweep] consults journal first, cache second, and
+   cross-populates on a hit in either, so a campaign can resume from
+   whichever layer survives. *)
+let store : Cache.Store.t option ref = ref None
+
+let enable_cache ~dir =
+  let s = Cache.Store.open_ ~dir () in
+  Printf.printf "cache: %d entries in %s%s\n"
+    (Cache.Store.entries s) dir
+    (match Cache.Store.corrupt s with
+    | 0 -> ""
+    | c -> Printf.sprintf " (%d corrupt index lines skipped)" c);
+  store := Some s
+
+let close_cache () =
+  match !store with
+  | None -> ()
+  | Some s ->
+      Cache.Store.close s;
+      store := None
+
+(* Per-experiment cache accounting: [cache_mark] snapshots the store
+   counters, [emit_cache_delta] reports the movement since the snapshot
+   as one kind="cache" row. Counters are ints and the store is consulted
+   only from the main domain's sweep scheduling (workers never touch it),
+   so the rows are deterministic at any --jobs count. *)
+let cache_mark () =
+  match !store with
+  | None -> (0, 0, 0)
+  | Some s ->
+      let st = Cache.Store.stats s in
+      (st.Cache.Stats.hits, st.Cache.Stats.misses, st.Cache.Stats.writes)
+
+let emit_cache_delta (h0, m0, w0) =
+  match !store with
+  | None -> ()
+  | Some s ->
+      let st = Cache.Store.stats s in
+      Out.emit ~kind:"cache"
+        [
+          ("hits", Out.I (st.Cache.Stats.hits - h0));
+          ("misses", Out.I (st.Cache.Stats.misses - m0));
+          ("writes", Out.I (st.Cache.Stats.writes - w0));
+        ]
+
 (* quarantined tasks + skipped points, for the end-of-campaign summary *)
 let quarantined = ref 0
 let skipped_points = ref 0
@@ -572,12 +621,42 @@ let sweep ?codec ?replay ~point ~params ~seeds f =
       (List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) params)
   in
   let key (p, s) = Printf.sprintf "%s|%s|seed=%d" !Out.experiment (point p) s in
+  (* Journal first — this campaign's own checkpoint — then the
+     cross-campaign cache. A hit in either back-fills the other, so a
+     later resume can ride whichever layer survives; the store is only
+     consulted on a journal miss, keeping its hit/miss counters honest.
+     All lookups run on the main domain before dispatch, never in
+     workers, so accounting and record order are --jobs-independent. *)
   let decode =
-    match (codec, !journal) with
-    | Some (_, dec), Some j ->
+    match codec with
+    | None -> fun _ -> None
+    | Some (enc, dec) -> (
         fun task ->
-          Option.bind (Supervise.Journal.lookup j (key task)) dec
-    | _ -> fun _ -> None
+          let k = key task in
+          let from_journal =
+            Option.bind
+              (Option.bind !journal (fun j -> Supervise.Journal.lookup j k))
+              dec
+          in
+          match from_journal with
+          | Some v ->
+              Option.iter
+                (fun s -> Cache.Store.add s ~key:k (enc v))
+                !store;
+              Some v
+          | None ->
+              let from_store =
+                Option.bind
+                  (Option.bind !store (fun s -> Cache.Store.lookup s k))
+                  dec
+              in
+              Option.iter
+                (fun v ->
+                  Option.iter
+                    (fun j -> Supervise.Journal.record j ~key:k (enc v))
+                    !journal)
+                from_store;
+              from_store)
   in
   let cached = Array.map decode tasks in
   let torun =
@@ -613,9 +692,13 @@ let sweep ?codec ?replay ~point ~params ~seeds f =
   Array.iteri
     (fun k r ->
       let i = torun.(k) in
-      (match (r, codec, !journal) with
-      | Ok v, Some (enc, _), Some j ->
-          Supervise.Journal.record j ~key:(key tasks.(i)) (enc v)
+      (match (r, codec) with
+      | Ok v, Some (enc, _) ->
+          let tk = key tasks.(i) in
+          Option.iter
+            (fun j -> Supervise.Journal.record j ~key:tk (enc v))
+            !journal;
+          Option.iter (fun s -> Cache.Store.add s ~key:tk (enc v)) !store
       | _ -> ());
       results.(i) <- Some r)
     fresh;
@@ -639,25 +722,39 @@ let sweep ?codec ?replay ~point ~params ~seeds f =
     params
 
 (* Run one supervised task outside a sweep (the single-run figures); a
-   failure is quarantined and the caller gets [None]. *)
-let protected ~label f =
-  match
-    Supervise.protect ~budget:!budget
-      ~descriptor:
-        {
-          Supervise.d_label = label;
-          d_seed = None;
-          d_replay =
-            Some
-              (Printf.sprintf "dune exec bench/main.exe -- --only %s"
-                 !Out.experiment);
-        }
-      f
-  with
-  | Ok v -> Some v
-  | Error fl ->
-      quarantine fl;
-      None
+   failure is quarantined and the caller gets [None]. With [cache_key]
+   and [codec] and the store on, a successful result is memoized and a
+   later campaign gets it without running — failures are never cached. *)
+let protected ?cache_key ?codec ~label f =
+  let from_store =
+    match (cache_key, codec, !store) with
+    | Some k, Some (_, dec), Some s -> Option.bind (Cache.Store.lookup s k) dec
+    | _ -> None
+  in
+  match from_store with
+  | Some v -> Some v
+  | None -> (
+      match
+        Supervise.protect ~budget:!budget
+          ~descriptor:
+            {
+              Supervise.d_label = label;
+              d_seed = None;
+              d_replay =
+                Some
+                  (Printf.sprintf "dune exec bench/main.exe -- --only %s"
+                     !Out.experiment);
+            }
+          f
+      with
+      | Ok v ->
+          (match (cache_key, codec, !store) with
+          | Some k, Some (enc, _), Some s -> Cache.Store.add s ~key:k (enc v)
+          | _ -> ());
+          Some v
+      | Error fl ->
+          quarantine fl;
+          None)
 
 let optimal_run ?(adversary = Adversary.vote_splitter ()) ~n ~t ~seed () =
   let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:20000 () in

@@ -21,12 +21,9 @@ let t1_thm1 ~quick () =
     sweep ~codec:measure_codec
       ~point:(fun n -> Printf.sprintf "n=%d" n)
       ~replay:(fun n seed ->
-        Printf.sprintf
-          "dune exec bin/consensus_sim.exe -- run -p optimal -n %d -t %d \
-           --seed %d -a splitter"
-          n
-          (max 1 (n / 31))
-          seed)
+        Run_spec.to_command
+          (Run_spec.make ~protocol:"optimal" ~n ~t_max:(max 1 (n / 31)) ~seed
+             ~adversary:"splitter" ()))
       ~params:ns ~seeds
       (fun n seed -> optimal_run ~n ~t:(max 1 (n / 31)) ~seed ())
   in
@@ -142,10 +139,9 @@ let t1_bjbo ~quick () =
     sweep ~codec:measure_codec
       ~point:(fun n -> Printf.sprintf "n=%d" n)
       ~replay:(fun n seed ->
-        Printf.sprintf
-          "dune exec bin/consensus_sim.exe -- run -p bjbo -n %d -t %d \
-           --seed %d -a splitter"
-          n (n / 4) seed)
+        Run_spec.to_command
+          (Run_spec.make ~protocol:"bjbo" ~n ~t_max:(n / 4) ~seed
+             ~adversary:"splitter" ()))
       ~params:ns ~seeds:(Bench_util.seed_list [ 1; 2; 3; 4; 5 ])
       (fun n seed ->
         let t = n / 4 in
@@ -247,12 +243,17 @@ let t1_abraham ~quick () =
       "flood-min (deterministic)"; "dolev-strong [15]";
     |]
   in
+  (* mapped over indices (not the thunks) so the cache key can name the
+     protocol; the message count is a pure function of (label, n) *)
   let msgs =
-    Supervise.map ~budget:!budget
+    Supervise.Cached.map ~budget:!budget
       ~describe:(fun i _ ->
         { Supervise.d_label = labels.(i); d_seed = Some 1; d_replay = None })
-      (fun f -> f ())
-      tasks
+      ?store:!store
+      ~key:(fun i -> Printf.sprintf "t1-abraham|%s|n=%d" labels.(i) n)
+      ~codec:(string_of_int, int_of_string_opt)
+      (fun i -> tasks.(i) ())
+      (Array.init (Array.length tasks) Fun.id)
   in
   (* a quarantined protocol loses its row; the others still print *)
   let entry_ok i name t =
@@ -375,6 +376,29 @@ let all ~quick () =
 (* B3: Appendix B.3 — the crash/omission communication separation.     *)
 (* ------------------------------------------------------------------ *)
 
+(* cache codec for the per-n B3 row; the two embedded measures reuse
+   measure_codec (space-separated, so ';' is free as the outer separator) *)
+let b3_codec =
+  ( (fun (n, t, m_om, m_cr, om_d, cr_d) ->
+      Printf.sprintf "%d;%d;%s;%s;%d;%d" n t (measure_to_string m_om)
+        (measure_to_string m_cr) om_d cr_d),
+    fun s ->
+      match String.split_on_char ';' s with
+      | [ n; t; mo; mc; od; cd ] -> (
+          match (measure_of_string mo, measure_of_string mc) with
+          | Some m_om, Some m_cr -> (
+              try
+                Some
+                  ( int_of_string n,
+                    int_of_string t,
+                    m_om,
+                    m_cr,
+                    int_of_string od,
+                    int_of_string cd )
+              with _ -> None)
+          | _ -> None)
+      | _ -> None )
+
 let b3 ~quick () =
   section "B3: crash-model subquadratic variant vs Algorithm 1 (Appendix B.3)";
   Printf.printf
@@ -388,7 +412,7 @@ let b3 ~quick () =
   row "%6s %5s %14s %14s %13s %13s %7s\n" "n" "t" "om total" "cr total"
     "om dissem" "cr dissem" "ratio";
   let results =
-    Supervise.map ~budget:!budget
+    Supervise.Cached.map ~budget:!budget
       ~describe:(fun _ n ->
         {
           Supervise.d_label = Printf.sprintf "b3/n=%d" n;
@@ -396,6 +420,9 @@ let b3 ~quick () =
           d_replay =
             Some "dune exec bench/main.exe -- --only b3";
         })
+      ?store:!store
+      ~key:(fun n -> Printf.sprintf "b3|n=%d" n)
+      ~codec:b3_codec
       (fun n ->
         let t = max 1 (n / 31) in
         let seed = 1 in

@@ -45,12 +45,39 @@ let f1 ~quick () =
 (* F2: Figure 2 — the 3-round relay trace inside one epoch.            *)
 (* ------------------------------------------------------------------ *)
 
+(* cache codec for f2's (measure, per-slot trace) pair: the measure
+   reuses measure_codec, the slot list is "slot:msgs:bits" comma-joined;
+   the decoder rejects any torn slot token *)
+let f2_codec =
+  ( (fun ((m : run_measure), slots) ->
+      measure_to_string m ^ ";"
+      ^ String.concat ","
+          (List.map
+             (fun (s, msgs, bits) -> Printf.sprintf "%d:%d:%d" s msgs bits)
+             slots)),
+    fun s ->
+      match String.split_on_char ';' s with
+      | [ ms; sl ] ->
+          Option.bind (measure_of_string ms) (fun m ->
+              let parse tok =
+                match String.split_on_char ':' tok with
+                | [ a; b; c ] -> (
+                    try
+                      Some (int_of_string a, int_of_string b, int_of_string c)
+                    with _ -> None)
+                | _ -> None
+              in
+              let toks = if sl = "" then [] else String.split_on_char ',' sl in
+              let parsed = List.filter_map parse toks in
+              if List.length parsed = List.length toks then Some (m, parsed)
+              else None)
+      | _ -> None )
+
 let f2 ~quick:_ () =
   section "F2: Figure 2 — binary-tree aggregation trace (one epoch)";
   let n = 256 in
   let t = max 1 (n / 31) in
   let cfg = Sim.Config.make ~n ~t_max:t ~seed:4 ~max_rounds:20000 () in
-  let proto = Consensus.Optimal_omissions.protocol cfg in
   let inputs = Array.init n (fun i -> i mod 2) in
   let part = Groups.sqrt_partition (Array.init n (fun i -> i)) in
   let s = part.Groups.group_size in
@@ -63,23 +90,38 @@ let f2 ~quick:_ () =
     n s stages spread;
   row "%6s %-12s %10s %12s %14s\n" "slot" "kind" "messages" "bits"
     "bits/group";
-  let trace = Hashtbl.create 64 in
-  let on_round ~round envelopes =
-    if round <= epoch_len then begin
-      let msgs = Array.length envelopes in
-      let bits =
-        Array.fold_left (fun a e -> a + e.Sim.View.bits) 0 envelopes
-      in
-      Hashtbl.replace trace round (msgs, bits)
-    end
-  in
+  (* the per-slot trace is collected inside the task and returned with
+     the measure, so a cache hit restores the whole figure without a run *)
   match
-    protected ~label:"f2/n=256" (fun () ->
-        measure ~on_round proto cfg ~adversary:(Adversary.group_killer ())
-          ~inputs)
+    protected ~cache_key:"f2|n=256" ~codec:f2_codec ~label:"f2/n=256"
+      (fun () ->
+        let proto = Consensus.Optimal_omissions.protocol cfg in
+        let trace = Hashtbl.create 64 in
+        let on_round ~round envelopes =
+          if round <= epoch_len then begin
+            let msgs = Array.length envelopes in
+            let bits =
+              Array.fold_left (fun a e -> a + e.Sim.View.bits) 0 envelopes
+            in
+            Hashtbl.replace trace round (msgs, bits)
+          end
+        in
+        let m =
+          measure ~on_round proto cfg ~adversary:(Adversary.group_killer ())
+            ~inputs
+        in
+        let slots =
+          List.sort compare
+            (Hashtbl.fold
+               (fun slot (msgs, bits) acc -> (slot, msgs, bits) :: acc)
+               trace [])
+        in
+        (m, slots))
   with
   | None -> ()
-  | Some (_ : run_measure) ->
+  | Some ((_ : run_measure), slots) ->
+  let trace = Hashtbl.create 64 in
+  List.iter (fun (s, msgs, bits) -> Hashtbl.replace trace s (msgs, bits)) slots;
   for slot = 1 to epoch_len do
     let kind =
       if slot <= 3 * stages then begin
@@ -132,64 +174,110 @@ let f2 ~quick:_ () =
 (* F3: Figure 3 — the voting thresholds in action.                     *)
 (* ------------------------------------------------------------------ *)
 
+(* cache codec for f3's per-epoch aggregate rows, comma-joined
+   "epoch:mean:set1:set0:coin:decided" with the mean as a %h hex float
+   so the round-trip is bit-exact *)
+let f3_codec =
+  ( (fun rows ->
+      String.concat ","
+        (List.map
+           (fun (ep, mean, s1, s0, coin, dec) ->
+             Printf.sprintf "%d:%h:%d:%d:%d:%d" ep mean s1 s0 coin dec)
+           rows)),
+    fun s ->
+      let parse tok =
+        match String.split_on_char ':' tok with
+        | [ ep; mean; s1; s0; coin; dec ] -> (
+            try
+              Some
+                ( int_of_string ep,
+                  float_of_string mean,
+                  int_of_string s1,
+                  int_of_string s0,
+                  int_of_string coin,
+                  int_of_string dec )
+            with _ -> None)
+        | _ -> None
+      in
+      let toks = if s = "" then [] else String.split_on_char ',' s in
+      let parsed = List.filter_map parse toks in
+      if List.length parsed = List.length toks then Some parsed else None )
+
 let f3 ~quick () =
   section "F3: Figure 3 — biased-majority threshold dynamics";
   let n = if quick then 144 else 400 in
   let t = max 1 (n / 31) in
-  let log = ref [] in
-  let cfg = Sim.Config.make ~n ~t_max:t ~seed:12 ~max_rounds:20000 () in
-  let proto = Consensus.Optimal_omissions.protocol ~vote_log:log cfg in
-  let inputs = Array.init n (fun i -> i mod 2) in
+  (* the task runs the protocol with the vote log attached and reduces
+     the log to per-epoch aggregates — the cacheable figure content *)
+  let task () =
+    let log = ref [] in
+    let cfg = Sim.Config.make ~n ~t_max:t ~seed:12 ~max_rounds:20000 () in
+    let proto = Consensus.Optimal_omissions.protocol ~vote_log:log cfg in
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let (_ : run_measure) =
+      measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs
+    in
+    let events = List.rev !log in
+    let epochs =
+      List.sort_uniq compare
+        (List.map (fun e -> e.Consensus.Core.ev_epoch) events)
+    in
+    List.map
+      (fun ep ->
+        let evs =
+          List.filter (fun e -> e.Consensus.Core.ev_epoch = ep) events
+        in
+        let frac e =
+          float_of_int e.Consensus.Core.ev_ones
+          /. float_of_int (e.ev_ones + e.ev_zeros)
+        in
+        let mean =
+          List.fold_left (fun a e -> a +. frac e) 0. evs
+          /. float_of_int (List.length evs)
+        in
+        let count p = List.length (List.filter p evs) in
+        let starts p e =
+          let r = e.Consensus.Core.ev_rule in
+          String.length r >= String.length p
+          && String.sub r 0 (String.length p) = p
+        in
+        ( ep,
+          mean,
+          count (starts "one"),
+          count (starts "zero"),
+          count (starts "coin"),
+          count (fun e ->
+              let r = e.Consensus.Core.ev_rule in
+              String.length r > 8) ))
+      epochs
+  in
   match
     protected
+      ~cache_key:(Printf.sprintf "f3|n=%d" n)
+      ~codec:f3_codec
       ~label:(Printf.sprintf "f3/n=%d" n)
-      (fun () -> measure proto cfg ~adversary:(Adversary.vote_splitter ()) ~inputs)
+      task
   with
   | None -> ()
-  | Some (_ : run_measure) ->
-  let events = List.rev !log in
-  let epochs = List.sort_uniq compare (List.map (fun e -> e.Consensus.Core.ev_epoch) events) in
+  | Some rows ->
   Printf.printf
     "n=%d under the vote-splitting adversary; per epoch: the ones-fraction \
      each operative\nprocess computed and which Figure-3 rule fired.\n\n" n;
   row "%6s %10s %8s %8s %8s %9s\n" "epoch" "mean 1s%" "set-1" "set-0" "coin"
     "decided";
   List.iter
-    (fun ep ->
-      let evs = List.filter (fun e -> e.Consensus.Core.ev_epoch = ep) events in
-      let frac e =
-        float_of_int e.Consensus.Core.ev_ones
-        /. float_of_int (e.ev_ones + e.ev_zeros)
-      in
-      let mean =
-        List.fold_left (fun a e -> a +. frac e) 0. evs
-        /. float_of_int (List.length evs)
-      in
-      let count p = List.length (List.filter p evs) in
-      let starts p e =
-        let r = e.Consensus.Core.ev_rule in
-        String.length r >= String.length p && String.sub r 0 (String.length p) = p
-      in
-      row "%6d %9.1f%% %8d %8d %8d %9d\n" ep (100. *. mean)
-        (count (starts "one"))
-        (count (starts "zero"))
-        (count (starts "coin"))
-        (count (fun e ->
-             let r = e.Consensus.Core.ev_rule in
-             String.length r > 8));
+    (fun (ep, mean, set_one, set_zero, coin, decided) ->
+      row "%6d %9.1f%% %8d %8d %8d %9d\n" ep (100. *. mean) set_one set_zero
+        coin decided;
       Out.emit
         [
           ("epoch", Out.I ep); ("mean_ones_pct", Out.F (100. *. mean));
-          ("set_one", Out.I (count (starts "one")));
-          ("set_zero", Out.I (count (starts "zero")));
-          ("coin", Out.I (count (starts "coin")));
-          ("decided",
-           Out.I
-             (count (fun e ->
-                  let r = e.Consensus.Core.ev_rule in
-                  String.length r > 8)));
+          ("set_one", Out.I set_one);
+          ("set_zero", Out.I set_zero);
+          ("coin", Out.I coin);
+          ("decided", Out.I decided);
         ])
-    epochs;
+    rows;
   Printf.printf
     "\n(thresholds: >18/30 sets 1, <15/30 sets 0, the window flips the \
      epoch's one coin;\n >27/30 or <3/30 arms the decided flag — compare \

@@ -26,6 +26,9 @@
      dune exec bench/main.exe -- --trace-tail 5  # quarantine records embed
                                               # the last 5 rounds of events
      dune exec bench/main.exe -- --seeds 8    # seeds 1..8 at every point
+     dune exec bench/main.exe -- --cache DIR  # content-addressed run cache:
+                                              # hits skip the protocol run,
+                                              # results stay byte-identical
 
    A sweep task that crashes, times out, or breaches a budget is quarantined
    (a JSON record with a replay command, kind="quarantine"), the sweep keeps
@@ -70,6 +73,8 @@ let () =
   let trace_format = ref "jsonl" in
   let trace_tail = ref 0 in
   let net_spec = ref "" in
+  let cache = ref "" in
+  let no_cache = ref false in
   let spec =
     [
       ("--quick", Arg.Set quick, "smaller sweeps");
@@ -135,6 +140,14 @@ let () =
         Arg.Set_string net_spec,
         "SPEC  base lossy-link spec for the \"net\" experiment (same syntax \
          as consensus_sim --net; the sweep varies the drop rate around it)" );
+      ( "--cache",
+        Arg.Set_string cache,
+        "DIR  content-addressed run cache: protocol runs already in DIR are \
+         served from it (kind=\"cache\" rows report hits/misses/writes), \
+         fresh results are written back" );
+      ( "--no-cache",
+        Arg.Set no_cache,
+        "ignore --cache for this campaign (every run executes)" );
     ]
   in
   Arg.parse spec
@@ -144,24 +157,16 @@ let () =
      [--wall-budget S]\n\
     \                [--round-budget N] [--msg-budget N] [--rand-budget N]\n\
     \                [--trace] [--trace-dir DIR] [--trace-format F] \
-     [--trace-tail K]";
+     [--trace-tail K]\n\
+    \                [--cache DIR] [--no-cache]";
   Exec.set_default_jobs !jobs;
   Bench_util.Out.set_stable !stable;
   Bench_util.seeds_override := (if !seeds <= 0 then None else Some !seeds);
-  (if !net_spec <> "" then
-     match Net.Spec.of_string !net_spec with
-     | Ok s -> Bench_util.net_base := Some s
-     | Error m ->
-         Printf.eprintf "%s\n" m;
-         exit 2);
+  if !net_spec <> "" then
+    Bench_util.net_base := Some (Run_spec.Cli.net_or_die !net_spec);
   Bench_util.trace_metrics := !trace;
   Bench_util.trace_tail_rounds := max 0 !trace_tail;
-  (match Trace.format_of_string !trace_format with
-  | Some f -> Bench_util.trace_format := f
-  | None ->
-      Printf.eprintf "--trace-format must be jsonl or binary, not %S\n"
-        !trace_format;
-      exit 2);
+  Bench_util.trace_format := Run_spec.Cli.format_or_die !trace_format;
   if !trace_dir <> "" then begin
     if not (Sys.file_exists !trace_dir) then Sys.mkdir !trace_dir 0o755;
     Bench_util.trace_dir := Some !trace_dir
@@ -173,15 +178,15 @@ let () =
   Bench_util.Out.set_path (if !json = "" then None else Some !json);
   if !json <> "" then
     Bench_util.enable_journal ~path:(!json ^ ".journal") ~resume:!resume;
-  let posf v = if v <= 0. then None else Some v in
-  let posi v = if v <= 0 then None else Some v in
+  if (not !no_cache) && !cache <> "" then Bench_util.enable_cache ~dir:!cache;
   Bench_util.budget :=
-    {
-      Supervise.Budget.wall_s = posf !wall_budget;
-      max_rounds = posi !round_budget;
-      max_messages = posi !msg_budget;
-      max_rand_bits = posi !rand_budget;
-    };
+    Run_spec.Cli.budget_of_flags
+      {
+        Run_spec.Cli.wall = !wall_budget;
+        rounds = !round_budget;
+        msgs = !msg_budget;
+        rand = !rand_budget;
+      };
   let selected =
     match !only with
     | [] -> experiments
@@ -205,19 +210,44 @@ let () =
   List.iter
     (fun (id, f) ->
       Bench_util.Out.start_experiment id;
+      let mark = Bench_util.cache_mark () in
       f ~quick:!quick ();
-      (* one summary record per experiment: wall_s is the experiment's
-         total wall-clock, stamped by emit *)
+      (* one kind="cache" delta row per experiment when the store is on,
+         then one summary record: wall_s is the experiment's total
+         wall-clock, stamped by emit *)
+      Bench_util.emit_cache_delta mark;
       Bench_util.Out.emit ~kind:"summary"
         [
           ("quick", Bench_util.Out.B !quick);
           ("jobs", Bench_util.Out.I (Exec.default_jobs ()));
         ])
     selected;
-  let run_micro = match !micro with Some b -> b | None -> !only = [] in
+  (* bechamel micro-benches default off under --cache: they measure this
+     machine's timings, which no cache can serve — --micro re-enables. *)
+  let run_micro =
+    match !micro with
+    | Some b -> b
+    | None -> !only = [] && Option.is_none !Bench_util.store
+  in
   if run_micro then Micro.benchmark ();
+  (match !Bench_util.store with
+  | None -> ()
+  | Some s ->
+      Bench_util.Out.start_experiment "cache";
+      let st = Cache.Store.stats s in
+      Bench_util.Out.emit ~kind:"cache"
+        [
+          ("hits", Bench_util.Out.I st.Cache.Stats.hits);
+          ("misses", Bench_util.Out.I st.Cache.Stats.misses);
+          ("writes", Bench_util.Out.I st.Cache.Stats.writes);
+          ("entries", Bench_util.Out.I (Cache.Store.entries s));
+        ];
+      Printf.printf "\ncache: %s (%d entries in %s)\n"
+        (Fmt.str "%a" Cache.Stats.pp st)
+        (Cache.Store.entries s) (Cache.Store.dir s));
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
   Bench_util.print_failure_summary ();
   Bench_util.Out.close ();
   Bench_util.close_journal ();
+  Bench_util.close_cache ();
   if Bench_util.failures () > 0 then exit 1

@@ -142,13 +142,16 @@ let net ~quick () =
       let per_drop =
         sweep
           ~codec:(nm_to_string, nm_of_string)
-          ~point:(fun drop -> Printf.sprintf "%s/drop=%g" case.id drop)
-          ~replay:(fun drop seed ->
-            Printf.sprintf
-              "dune exec bin/consensus_sim.exe -- run -p %s -n %d -t %d \
-               --seed %d -a none --net %s"
-              case.id case.n case.t seed
+          (* the full transport spec plus (n, t) in the point: quick and
+             full campaigns size the cases differently and --net rebases
+             the sweep, and none of those runs may share a cache entry *)
+          ~point:(fun drop ->
+            Printf.sprintf "%s/n=%d/t=%d/%s" case.id case.n case.t
               (Net.Spec.to_string { (base_spec ()) with Net.Spec.drop }))
+          ~replay:(fun drop seed ->
+            Run_spec.to_command
+              (Run_spec.make ~protocol:case.id ~n:case.n ~t_max:case.t ~seed
+                 ~net:{ (base_spec ()) with Net.Spec.drop } ()))
           ~params:drops ~seeds
           (fun drop seed -> run_case case drop seed)
       in

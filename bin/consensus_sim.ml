@@ -9,94 +9,8 @@
 
 open Cmdliner
 
-let adversary_conv =
-  Arg.enum
-    [
-      ("none", `None);
-      ("crash", `Crash);
-      ("random", `Random);
-      ("group", `Group);
-      ("splitter", `Splitter);
-      ("staggered", `Staggered);
-      ("eclipse", `Eclipse);
-    ]
-
-let inputs_conv =
-  Arg.enum [ ("mixed", `Mixed); ("ones", `Ones); ("zeros", `Zeros); ("random", `Random) ]
-
-let make_inputs kind n seed =
-  match kind with
-  | `Mixed -> Array.init n (fun i -> i mod 2)
-  | `Ones -> Array.make n 1
-  | `Zeros -> Array.make n 0
-  | `Random ->
-      let rand = Sim.Rand.create ~seed:(Int64.of_int (seed + 99)) () in
-      Array.init n (fun _ -> Sim.Rand.bit rand)
-
-let make_adversary kind =
-  match kind with
-  | `None -> Adversary.none
-  | `Crash -> Adversary.crash_schedule [ (1, [ 0 ]); (2, [ 1 ]); (5, [ 2; 3 ]) ]
-  | `Random -> Adversary.random_omission ~p_omit:0.7
-  | `Group -> Adversary.group_killer ()
-  | `Splitter -> Adversary.vote_splitter ()
-  | `Staggered -> Adversary.staggered_crash ~per_round:3
-  | `Eclipse -> Adversary.eclipse ~victim:0
-
-(* flag spellings, for replay one-liners *)
-let adversary_name = function
-  | `None -> "none"
-  | `Crash -> "crash"
-  | `Random -> "random"
-  | `Group -> "group"
-  | `Splitter -> "splitter"
-  | `Staggered -> "staggered"
-  | `Eclipse -> "eclipse"
-
-let inputs_name = function
-  | `Mixed -> "mixed"
-  | `Ones -> "ones"
-  | `Zeros -> "zeros"
-  | `Random -> "random"
-
-(* Protocols are resolved through the registry — one BUILDER per protocol,
-   plus the buffered constructor when the protocol has been ported to the
-   allocation-free engine path. "param" is the one extra spelling:
-   ParamOmissions instantiated at the -x given on the command line rather
-   than the registry's x=2 entry. *)
-let resolve_builder id ~x =
-  if id = "param" then (Consensus.Param_omissions.builder ~x (), None)
-  else
-    match Harness.Registry.find id with
-    | Some e -> (e.Harness.Registry.builder, e.Harness.Registry.buffered)
-    | None ->
-        Fmt.epr "unknown protocol %S; registered: %s (plus \"param\", which \
-                 takes -x)@."
-          id
-          (String.concat ", " (Harness.Registry.ids ()));
-        exit 2
-
-let format_or_die s =
-  match Trace.format_of_string s with
-  | Some f -> f
-  | None ->
-      Fmt.epr "--trace-format must be jsonl or binary, not %S@." s;
-      exit 2
-
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-
-type budget_flags = { wall : float; rounds : int; msgs : int; rand : int }
-
-let budget_of_flags b =
-  let posf v = if v <= 0. then None else Some v in
-  let posi v = if v <= 0 then None else Some v in
-  {
-    Supervise.Budget.wall_s = posf b.wall;
-    max_rounds = posi b.rounds;
-    max_messages = posi b.msgs;
-    max_rand_bits = posi b.rand;
-  }
 
 let print_tail lines =
   if lines <> [] then begin
@@ -104,39 +18,24 @@ let print_tail lines =
     List.iter (fun l -> Fmt.pr "  %s@." l) lines
   end
 
-let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
-    trace_dir trace_format trace_tail legacy_engine =
-  let builder, buffered = resolve_builder protocol ~x in
-  let module B = (val builder : Sim.Protocol_intf.BUILDER) in
-  let format = format_or_die trace_format in
-  Option.iter ensure_dir trace_dir;
-  let budget = budget_of_flags bflags in
-  let failures = ref 0 in
-  let net_replay ~seed spec =
-    Printf.sprintf
-      "dune exec bin/consensus_sim.exe -- run -p %s -n %d -t %d --seed %d -a \
-       %s -i %s --net %s"
-      protocol n t seed (adversary_name adversary) (inputs_name inputs_kind)
-      (Net.Spec.to_string spec)
+let run_cmd spec0 seeds trace trace_dir trace_format trace_tail cache
+    no_cache =
+  let builder =
+    match Run_spec.resolve spec0 with
+    | Ok (b, _) -> b
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        exit 2
   in
+  let module B = (val builder : Sim.Protocol_intf.BUILDER) in
+  let format = Run_spec.Cli.format_or_die trace_format in
+  Option.iter ensure_dir trace_dir;
+  let store = Run_spec.Cli.store_of_flags ~cache ~no_cache in
+  let { Run_spec.protocol; n; t_max = t; _ } = spec0 in
+  let failures = ref 0 in
   let run_one ~seed ~verbose =
-    let cfg0 = Sim.Config.make ~n ~t_max:t ~seed () in
-    let cfg = { cfg0 with Sim.Config.max_rounds = B.rounds_needed cfg0 } in
-    let proto =
-      match buffered with
-      | Some f when not legacy_engine -> Sim.Protocol_intf.Buffered (f cfg)
-      | _ -> Sim.Protocol_intf.Legacy (B.build cfg)
-    in
-    let proto_name =
-      match proto with
-      | Sim.Protocol_intf.Legacy p ->
-          let module P = (val p : Sim.Protocol_intf.S) in
-          P.name
-      | Sim.Protocol_intf.Buffered p ->
-          let module P = (val p : Sim.Protocol_intf.BUFFERED) in
-          P.name
-    in
-    let inputs = make_inputs inputs_kind n seed in
+    let spec = { spec0 with Run_spec.seed } in
+    let proto_name = B.name in
     let tail =
       if trace_tail > 0 then Some (Trace.Tail.create ~rounds:trace_tail ())
       else None
@@ -164,40 +63,27 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
     let tsink =
       match sinks with [] -> None | l -> Some (Trace.Sink.tee_all l)
     in
-    let result =
-      (* unify the linkless and lossy-link paths on one result shape; the
-         degradation report rides along when --net is given *)
-      match net with
-      | None -> (
-          match
-            Supervise.run_any ?trace:tsink ~budget proto cfg
-              ~adversary:(make_adversary adversary) ~inputs
-          with
-          | Ok o -> Ok (o, None)
-          | Error (k, p) -> Error (k, Option.map (fun o -> (o, None)) p))
-      | Some spec -> (
-          match
-            Supervise.run_net ?trace:tsink ~budget ~net:spec proto cfg
-              ~adversary:(make_adversary adversary) ~inputs
-          with
-          | Ok (o, d) -> Ok (o, Some d)
-          | Error (k, p) -> Error (k, Option.map (fun (o, d) -> (o, Some d)) p))
-    in
+    (* one result shape for the linkless and lossy-link paths; the
+       degradation report rides along when the spec has a net. The spec's
+       canonical string is also the cache key, so a repeated run with
+       --cache is served from the store. *)
+    let result = Run_spec.execute ?trace:tsink ?store spec in
     Option.iter (fun (path, s) -> Trace.Sink.close s;
         if verbose then Fmt.pr "trace written      : %s@." path)
       file_sink;
     match result with
     | Error ((Supervise.Degraded _ as kind), partial) ->
         (* beyond the omission model: a structured quarantine record with a
-           replay one-liner, never a consensus verdict *)
+           replay one-liner (the canonical spec serialization), never a
+           consensus verdict *)
         incr failures;
-        let spec = Option.get net in
+        let replay = Run_spec.to_command spec in
         let f =
           {
             Supervise.index = 0;
             label = Printf.sprintf "run/%s/seed%d" protocol seed;
             seed = Some seed;
-            replay = Some (net_replay ~seed spec);
+            replay = Some replay;
             kind;
             elapsed_s = 0.;
             trace =
@@ -211,7 +97,7 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
             Fmt.pr "  degradation: %s@." (Net.Degradation.to_json d)
         | _ -> ());
         Fmt.pr "%s@." (Supervise.failure_json f);
-        Fmt.pr "  replay: %s@." (net_replay ~seed spec)
+        Fmt.pr "  replay: %s@." replay
     | Error (kind, _) ->
         incr failures;
         Fmt.pr "seed %-4d: SUPERVISION FAILURE — %a@." seed
@@ -229,7 +115,7 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
           Fmt.pr "protocol           : %s@." proto_name;
           Fmt.pr "n / t / seed       : %d / %d / %d@." n t seed;
           Fmt.pr "adversary          : %s (faults used %d)@."
-            (make_adversary adversary).Sim.Adversary_intf.name
+            (Run_spec.adversary spec).Sim.Adversary_intf.name
             o.Sim.Engine.faults_used;
           Fmt.pr "rounds (T)         : %d%s@." o.rounds_total
             (match o.decided_round with
@@ -241,8 +127,8 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
           Fmt.pr "omitted messages   : %d@." o.messages_omitted;
           (* printed only for a spec that can actually fault, so a
              drop=0-style --net run stays byte-identical to a linkless one *)
-          match (dopt, net) with
-          | Some d, Some spec when not (Net.Spec.zero_fault spec) ->
+          match (dopt, spec.Run_spec.net) with
+          | Some d, Some ns when not (Net.Spec.zero_fault ns) ->
               Fmt.pr "net degradation    : %s@." (Net.Degradation.to_json d)
           | _ -> ()
         end
@@ -266,12 +152,18 @@ let run_cmd protocol n t x seed seeds adversary inputs_kind bflags net trace
             incr failures)
   in
   (match seeds with
-  | None -> run_one ~seed ~verbose:true
+  | None -> run_one ~seed:spec0.Run_spec.seed ~verbose:true
   | Some k ->
       Fmt.pr "protocol %s, n=%d t=%d, seeds 1..%d@." B.name n t k;
       for s = 1 to k do
         run_one ~seed:s ~verbose:false
       done);
+  (match store with
+  | None -> ()
+  | Some st ->
+      Fmt.pr "cache: %a (%d entries in %s)@." Cache.Stats.pp
+        (Cache.Store.stats st) (Cache.Store.entries st) (Cache.Store.dir st);
+      Cache.Store.close st);
   if !failures > 0 then exit 1
 
 let graph_cmd n delta_c seed =
@@ -305,10 +197,9 @@ let fuzz_protocols spec =
   | None -> Harness.Registry.all
   | Some id -> (
       match Harness.Registry.find id with
-      | Some e -> [ e ]
-      | None ->
-          Fmt.epr "unknown protocol %S; registered: %s@." id
-            (String.concat ", " (Harness.Registry.ids ()));
+      | Ok e -> [ e ]
+      | Error msg ->
+          Fmt.epr "%s@." msg;
           exit 2)
 
 let json_escape s =
@@ -350,25 +241,21 @@ let dump_failure_trace ~protocols ~dir ~format ~tail_rounds
       Trace.File.write ~path ~format (events ());
       (Some path, Trace.Tail.lines tail)
 
-let fuzz_cmd count seed max_n protocol smoke jobs json journal_path resume
+let fuzz_cmd count seed max_n protocol smoke jobs json resume cache no_cache
     trace_dir trace_format trace_tail =
   let protocols = fuzz_protocols protocol in
   let count = if smoke then max count 1_000_000 else count in
   let time_budget = if smoke then Some 25.0 else None in
   let jobs = if jobs <= 0 then Exec.default_jobs () else jobs in
-  let format = format_or_die trace_format in
+  let format = Run_spec.Cli.format_or_die trace_format in
   (* --json FILE: machine-readable result records in FILE, checkpoint
-     journal beside it (FILE.journal) — same layout as bench/main.exe.
-     --journal FILE (deprecated) is the bare checkpoint file. *)
-  let journal_path =
-    match (json, journal_path) with
-    | Some j, _ -> Some (j ^ ".journal")
-    | None, p -> p
-  in
+     journal beside it (FILE.journal) — same layout as bench/main.exe. *)
+  let journal_path = Option.map (fun j -> j ^ ".journal") json in
   if resume && journal_path = None then begin
-    Fmt.epr "fuzz: --resume needs --json FILE (or the deprecated --journal)@.";
+    Fmt.epr "fuzz: --resume needs --json FILE@.";
     exit 2
   end;
+  let store = Run_spec.Cli.store_of_flags ~cache ~no_cache in
   let json_ch = Option.map (fun path -> open_out path) json in
   let emit_json fields =
     match json_ch with
@@ -393,9 +280,15 @@ let fuzz_cmd count seed max_n protocol smoke jobs json journal_path resume
   let result =
     Harness.Fuzz.run ~protocols ~count ~seed ~max_n ?time_budget ~jobs
       ~progress:(fun m -> Fmt.pr "fuzz: %s@." m)
-      ?journal ()
+      ?journal ?store ()
   in
   Option.iter Supervise.Journal.close journal;
+  (match store with
+  | None -> ()
+  | Some st ->
+      Fmt.pr "fuzz: cache %a (%d entries in %s)@." Cache.Stats.pp
+        (Cache.Store.stats st) (Cache.Store.entries st) (Cache.Store.dir st);
+      Cache.Store.close st);
   match result with
   | Ok stats ->
       Fmt.pr
@@ -545,7 +438,7 @@ let budget_term =
           ~doc:"Random-bit ceiling per run (0 = unlimited).")
   in
   Term.(
-    const (fun wall rounds msgs rand -> { wall; rounds; msgs; rand })
+    const (fun wall rounds msgs rand -> { Run_spec.Cli.wall; rounds; msgs; rand })
     $ wall $ rounds $ msgs $ rand)
 
 let trace_flag =
@@ -583,14 +476,16 @@ let run_term =
   let adversary =
     Arg.(
       value
-      & opt adversary_conv `None
+      & opt (enum (List.map (fun n -> (n, n)) Run_spec.Cli.adversary_names))
+          "none"
       & info [ "adversary"; "a" ]
           ~doc:"Adversary: none, crash, random, group, splitter, staggered, eclipse.")
   in
   let inputs =
     Arg.(
       value
-      & opt inputs_conv `Mixed
+      & opt (enum (List.map (fun n -> (n, n)) Run_spec.Cli.inputs_names))
+          "mixed"
       & info [ "inputs"; "i" ] ~doc:"Inputs: mixed, ones, zeros, random.")
   in
   let legacy_engine =
@@ -616,29 +511,61 @@ let run_term =
              exceed t is reported as degraded (exit 1, replay one-liner), \
              never as a consensus result.")
   in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Run the canonical run-spec serialization $(docv) (as printed \
+             by replay one-liners and cache provenance records) instead of \
+             assembling one from the flags above; -p/-n/-t/-x/--seed/-a/-i/\
+             --net/--legacy-engine and the budget flags are ignored.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Serve repeated runs from the content-addressed result store in \
+             $(docv) (created if missing); misses run and write back.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Ignore --cache: always execute.")
+  in
   Term.(
     const (fun protocol n t x seed seeds adversary inputs bflags net trace
-               trace_dir trace_format trace_tail legacy_engine ->
-        let t = match t with Some t -> t | None -> max 1 (n / 31) in
-        let net =
-          Option.map
-            (fun s ->
-              match Net.Spec.of_string s with
+               trace_dir trace_format trace_tail legacy_engine spec_str cache
+               no_cache ->
+        let spec =
+          match spec_str with
+          | Some s -> (
+              match Run_spec.of_string s with
               | Ok spec -> spec
               | Error m ->
                   Fmt.epr "%s@." m;
                   Stdlib.exit 2)
-            net
+          | None ->
+              let t = match t with Some t -> t | None -> max 1 (n / 31) in
+              Run_spec.make
+                ?x:(if protocol = "param" then Some x else None)
+                ~adversary ~inputs
+                ?net:(Option.map Run_spec.Cli.net_or_die net)
+                ~budget:(Run_spec.Cli.budget_of_flags bflags)
+                ~engine:(if legacy_engine then Run_spec.Legacy else Run_spec.Auto)
+                ~protocol ~n ~t_max:t ~seed ()
         in
-        run_cmd protocol n t x seed seeds adversary inputs bflags net trace
-          trace_dir trace_format trace_tail legacy_engine)
+        run_cmd spec seeds trace trace_dir trace_format trace_tail cache
+          no_cache)
     $ protocol $ n_arg $ t_arg $ x_arg $ seed_arg $ seeds_arg $ adversary
     $ inputs $ budget_term $ net $ trace_flag $ trace_dir_arg
     $ trace_format_arg $ trace_tail_arg
         ~doc:
           "Keep the last $(docv) rounds of events; printed when a run fails \
            or disagrees (0 = off)."
-    $ legacy_engine)
+    $ legacy_engine $ spec_arg $ cache_arg $ no_cache)
 
 let graph_term =
   Term.(const graph_cmd $ n_arg $ delta_c_arg $ seed_arg)
@@ -686,14 +613,6 @@ let fuzz_term =
              (kind=\"quarantine\") land in $(docv); the checkpoint journal \
              behind $(b,--resume) lives beside it at $(docv).journal.")
   in
-  let journal =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "journal" ]
-          ~deprecated:"use --json FILE (journal lives at FILE.journal)"
-          ~doc:"Checkpoint file (deprecated spelling of the --json journal).")
-  in
   let resume =
     Arg.(
       value & flag
@@ -703,9 +622,24 @@ let fuzz_term =
              soak with the same seed; final stats are identical to an \
              uninterrupted run.")
   in
+  let cache =
+    Arg.(
+      value & opt string ""
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Deduplicate clean scenarios across campaigns through the \
+             content-addressed result store in $(docv): scenarios any \
+             earlier soak already proved clean are folded from the store \
+             instead of re-executed.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Ignore --cache: always execute.")
+  in
   Term.(
     const fuzz_cmd $ count $ seed_arg $ max_n $ protocol $ smoke $ jobs $ json
-    $ journal $ resume
+    $ resume $ cache $ no_cache
     $ Arg.(
         value & opt string "."
         & info [ "trace-dir" ]

@@ -1,0 +1,178 @@
+(* Content-addressed result store: append-only index + one object file
+   per payload. Digests use stdlib MD5 (Digest) — the cache is a
+   memoization layer over a trusted local directory, not a security
+   boundary; what matters is that the address is a pure function of
+   (fingerprint, key). *)
+
+let fingerprint = "consensus-cache-v1"
+
+module Stats = struct
+  type t = { mutable hits : int; mutable misses : int; mutable writes : int }
+
+  let zero () = { hits = 0; misses = 0; writes = 0 }
+
+  let pp ppf s =
+    Fmt.pf ppf "hits=%d misses=%d writes=%d" s.hits s.misses s.writes
+end
+
+module Store = struct
+  type t = {
+    dir : string;
+    fingerprint : string;
+    index : (string, int) Hashtbl.t; (* hex digest -> payload size *)
+    oc : out_channel; (* index, append mode, flushed per entry *)
+    mutable corrupt : int;
+    stats : Stats.t;
+    lock : Mutex.t;
+  }
+
+  let objects_dir dir = Filename.concat dir "objects"
+  let index_path dir = Filename.concat dir "index"
+  let object_path t hex = Filename.concat (objects_dir t.dir) hex
+
+  let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
+
+  let is_hex s =
+    String.length s > 0
+    && String.for_all
+         (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+         s
+
+  (* Replay the index. A well-formed line is "hex TAB size"; anything
+     else — torn final line, garbage bytes, bad size — is skipped and
+     counted. Duplicate digests are fine (lookup self-repair re-appends
+     after rewriting an object); latest wins. *)
+  let load_index path index =
+    if not (Sys.file_exists path) then 0
+    else begin
+      let ic = open_in_bin path in
+      let corrupt = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.index_opt line '\t' with
+           | Some i
+             when i > 0
+                  && i < String.length line - 1
+                  && not (String.contains_from line (i + 1) '\t') -> (
+               let hex = String.sub line 0 i in
+               let size = String.sub line (i + 1) (String.length line - i - 1) in
+               match int_of_string_opt size with
+               | Some sz when sz >= 0 && is_hex hex ->
+                   Hashtbl.replace index hex sz
+               | _ -> incr corrupt)
+           | _ -> incr corrupt
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !corrupt
+    end
+
+  let open_ ?(fingerprint = fingerprint) ~dir () =
+    ensure_dir dir;
+    ensure_dir (objects_dir dir);
+    let index = Hashtbl.create 256 in
+    let corrupt = load_index (index_path dir) index in
+    let oc =
+      open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644
+        (index_path dir)
+    in
+    {
+      dir;
+      fingerprint;
+      index;
+      oc;
+      corrupt;
+      stats = Stats.zero ();
+      lock = Mutex.create ();
+    }
+
+  let digest_key t key =
+    Digest.to_hex (Digest.string (t.fingerprint ^ "\x00" ^ key))
+
+  let read_object path expected_size =
+    match open_in_bin path with
+    | exception _ -> None
+    | ic ->
+        let len = in_channel_length ic in
+        let payload =
+          if len <> expected_size then None
+          else match really_input_string ic len with
+            | s -> Some s
+            | exception _ -> None
+        in
+        close_in_noerr ic;
+        payload
+
+  let mem t key = Hashtbl.mem t.index (digest_key t key)
+
+  let lookup t key =
+    let hex = digest_key t key in
+    Mutex.lock t.lock;
+    let r =
+      match Hashtbl.find_opt t.index hex with
+      | None ->
+          t.stats.Stats.misses <- t.stats.Stats.misses + 1;
+          None
+      | Some size -> (
+          match read_object (object_path t hex) size with
+          | Some payload ->
+              t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+              Some payload
+          | None ->
+              (* the object is gone or torn: drop the entry so the next
+                 add can repair it, and recompute this once *)
+              Hashtbl.remove t.index hex;
+              t.corrupt <- t.corrupt + 1;
+              t.stats.Stats.misses <- t.stats.Stats.misses + 1;
+              None)
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let add t ~key payload =
+    let hex = digest_key t key in
+    Mutex.lock t.lock;
+    (try
+       if not (Hashtbl.mem t.index hex) then begin
+         (* object first (atomic via rename), index line after: a crash
+            between the two leaves an unreachable object, never an index
+            line pointing at nothing it can't detect *)
+         let path = object_path t hex in
+         let tmp =
+           Printf.sprintf "%s.tmp.%d" path
+             (Domain.self () :> int)
+         in
+         let oc = open_out_bin tmp in
+         output_string oc payload;
+         close_out oc;
+         Sys.rename tmp path;
+         Printf.fprintf t.oc "%s\t%d\n" hex (String.length payload);
+         flush t.oc;
+         Hashtbl.replace t.index hex (String.length payload);
+         t.stats.Stats.writes <- t.stats.Stats.writes + 1
+       end
+     with e ->
+       Mutex.unlock t.lock;
+       raise e);
+    Mutex.unlock t.lock
+
+  let entries t = Hashtbl.length t.index
+  let corrupt t = t.corrupt
+
+  (* a snapshot, not the live record: callers diff two calls to get
+     per-phase deltas, which aliasing would silently zero out *)
+  let stats t =
+    Mutex.lock t.lock;
+    let s =
+      {
+        Stats.hits = t.stats.Stats.hits;
+        misses = t.stats.Stats.misses;
+        writes = t.stats.Stats.writes;
+      }
+    in
+    Mutex.unlock t.lock;
+    s
+  let dir t = t.dir
+  let close t = close_out_noerr t.oc
+end

@@ -77,7 +77,7 @@ let minimise ?(max_steps = 300) ~protocols (v : Runner.violation) s =
     in index order, reproducing the serial loop's stats and
     first-violation semantics exactly. *)
 let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
-    ?time_budget ?jobs ?(progress = fun _ -> ()) ?journal () :
+    ?time_budget ?jobs ?(progress = fun _ -> ()) ?journal ?store () :
     (stats, failure * stats) result =
   let stats = stats_zero () in
   (* checkpoint/resume: each clean scenario's stats contribution is
@@ -86,7 +86,7 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
      identical to an uninterrupted soak. Violations are never journaled —
      an interrupted failing run re-finds the violation on resume. *)
   let key i = Printf.sprintf "fuzz|seed=%d|i=%d" seed i in
-  let cached i =
+  let journal_cached i =
     match journal with
     | None -> None
     | Some j -> (
@@ -107,6 +107,16 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
           (Printf.sprintf "%d %d %d" runs checked det)
   in
   let root = Sim.Rand.create ~seed:(Int64.of_int seed) () in
+  (* content-addressed dedup across campaigns: the journal keys on
+     (seed, index), the store keys on the scenario itself (plus the
+     protocol set and which determinism check the rotation owes this
+     index), so a repeated or reseeded soak skips every scenario any
+     earlier campaign already proved clean. Violations are never stored
+     — a failing scenario re-runs, re-shrinks and re-reports. *)
+  let protocols_sig =
+    String.concat ","
+      (List.sort compare (List.map (fun e -> e.Registry.id) protocols))
+  in
   let started = Unix.gettimeofday () in
   let out_of_time () =
     match time_budget with
@@ -128,8 +138,35 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
       | [] -> None
       | l -> Some (List.nth l (i / 25 mod List.length l))
   in
+  let scenario_of i = Scenario.generate ?max_n (Sim.Rand.derive root i) in
+  let store_key i s =
+    Printf.sprintf "fuzz-scenario|%s|%s|det=%s" protocols_sig
+      (Scenario.to_string s)
+      (match det_entry i s with None -> "-" | Some e -> e.Registry.id)
+  in
+  let store_cached i =
+    match store with
+    | None -> None
+    | Some st -> (
+        match Cache.Store.lookup st (store_key i (scenario_of i)) with
+        | None -> None
+        | Some payload -> (
+            match String.split_on_char ' ' payload with
+            | [ r; c; d ] -> (
+                try Some (int_of_string r, int_of_string c, int_of_string d)
+                with _ -> None)
+            | _ -> None))
+  in
+  let store_add i ~runs ~checked ~det =
+    match store with
+    | None -> ()
+    | Some st ->
+        Cache.Store.add st
+          ~key:(store_key i (scenario_of i))
+          (Printf.sprintf "%d %d %d" runs checked det)
+  in
   let eval i =
-    let s = Scenario.generate ?max_n (Sim.Rand.derive root i) in
+    let s = scenario_of i in
     let report = Runner.run ~protocols s in
     let violation =
       match Runner.report_violations report with v :: _ -> Some v | [] -> None
@@ -151,10 +188,23 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
     while !i < count && not (out_of_time ()) do
       let hi = min count (!i + batch) in
       let lo = !i in
+      (* one lookup per index per batch — journal first (cheapest, no
+         disk), then the store — so the store's hit/miss stats mean what
+         they say *)
+      let pre =
+        Array.init (hi - lo) (fun k ->
+            let idx = lo + k in
+            match journal_cached idx with
+            | Some r -> Some (`Journal, r)
+            | None -> (
+                match store_cached idx with
+                | Some r -> Some (`Store, r)
+                | None -> None))
+      in
       let fresh =
         Array.of_list
           (List.filter
-             (fun k -> cached k = None)
+             (fun k -> pre.(k - lo) = None)
              (List.init (hi - lo) (fun k -> lo + k)))
       in
       let results = Exec.map ~jobs (fun k -> (k, eval k)) fresh in
@@ -163,12 +213,18 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
       let tbl = Hashtbl.create (Array.length results) in
       Array.iter (fun (k, r) -> Hashtbl.add tbl k r) results;
       for idx = lo to hi - 1 do
-        (match cached idx with
-        | Some (runs, checked, det) ->
+        (match pre.(idx - lo) with
+        | Some (src, (runs, checked, det)) ->
             stats.scenarios <- stats.scenarios + 1;
             stats.runs <- stats.runs + runs;
             stats.checked <- stats.checked + checked;
-            stats.determinism_checks <- stats.determinism_checks + det
+            stats.determinism_checks <- stats.determinism_checks + det;
+            (* cross-populate so each layer ends the soak complete: a
+               journal hit seeds the store, a store hit checkpoints the
+               journal *)
+            (match src with
+            | `Journal -> store_add idx ~runs ~checked ~det
+            | `Store -> record idx ~runs ~checked ~det)
         | None ->
             let s, (report : Runner.report), violation, det =
               Hashtbl.find tbl idx
@@ -208,7 +264,9 @@ let run ?(protocols = Registry.all) ?(count = 500) ?(seed = 1) ?max_n
                            shrink_steps = 0;
                          })
                 | None -> ()));
-            record idx ~runs ~checked ~det:(if det = None then 0 else 1));
+            let det = if det = None then 0 else 1 in
+            record idx ~runs ~checked ~det;
+            store_add idx ~runs ~checked ~det);
         if (idx + 1) mod 50 = 0 then
           progress
             (Printf.sprintf "%d scenarios, %d protocol runs, %d checked"

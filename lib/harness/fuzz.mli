@@ -41,6 +41,7 @@ val run :
   ?jobs:int ->
   ?progress:(string -> unit) ->
   ?journal:Supervise.Journal.t ->
+  ?store:Cache.Store.t ->
   unit ->
   (stats, failure * stats) result
 (** Run [count] generated scenarios (stopping early after [time_budget]
@@ -60,4 +61,12 @@ val run :
     re-evaluation, so an interrupted soak resumed with the same [seed] and
     [count] reports stats identical to an uninterrupted one. Violations are
     never journaled: resuming a failing soak re-finds the violation. The
-    caller closes the journal. *)
+    caller closes the journal.
+
+    With [store], clean scenarios are additionally deduplicated across
+    campaigns through the content-addressed cache: the key is the
+    scenario itself (plus the protocol set and the determinism-check
+    assignment), so a repeated or reseeded soak skips work any earlier
+    one already did. Hits checkpoint the journal and journal hits seed
+    the store, so either layer alone suffices to resume. Violations are
+    never stored. The caller closes the store. *)

@@ -96,8 +96,15 @@ let all : entry list =
       (Consensus.Operative_broadcast.builder ~source:0 ());
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
+
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown protocol %S; registered: %s" id
+           (String.concat ", " (ids ())))
 
 (** Protocols whose guarantees cover [scenario]: the system is large
     enough, and the strategy stays inside the protocol's fault model. The

@@ -51,7 +51,11 @@ val rounds_bound : entry -> Sim.Config.t -> int
 
 val pp_model : Format.formatter -> model -> unit
 val all : entry list
-val find : string -> entry option
+val find : string -> (entry, string) result
+(** Look up a protocol by registry id. [Error] carries a one-line
+    message naming the id and listing every registered protocol, ready
+    to print. *)
+
 val ids : unit -> string list
 
 val in_model : entry -> Scenario.t -> bool

@@ -1,0 +1,267 @@
+(* One canonical record per run, one canonical string per record. The
+   string is the API: the CLI accepts it (--spec), replay one-liners
+   print it, and the cache addresses results by it. Keep the field
+   order and spellings frozen — changing either silently invalidates
+   every existing cache (which is what Cache.fingerprint is for). *)
+
+type engine = Auto | Legacy
+
+type t = {
+  protocol : string;
+  n : int;
+  t_max : int;
+  x : int option;
+  seed : int;
+  adversary : string;
+  inputs : string;
+  net : Net.Spec.t option;
+  budget : Supervise.Budget.t;
+  engine : engine;
+}
+
+(* --- adversary / input-pattern spelling tables (the run subcommand's
+   historical vocabulary, now shared by every surface) --- *)
+
+let adversaries =
+  [
+    ("none", fun () -> Adversary.none);
+    ( "crash",
+      fun () -> Adversary.crash_schedule [ (1, [ 0 ]); (2, [ 1 ]); (5, [ 2; 3 ]) ] );
+    ("random", fun () -> Adversary.random_omission ~p_omit:0.7);
+    ("group", fun () -> Adversary.group_killer ());
+    ("splitter", fun () -> Adversary.vote_splitter ());
+    ("staggered", fun () -> Adversary.staggered_crash ~per_round:3);
+    ("eclipse", fun () -> Adversary.eclipse ~victim:0);
+  ]
+
+let inputs_table =
+  [
+    ("mixed", fun ~n ~seed:_ -> Array.init n (fun i -> i mod 2));
+    ("ones", fun ~n ~seed:_ -> Array.make n 1);
+    ("zeros", fun ~n ~seed:_ -> Array.make n 0);
+    ( "random",
+      fun ~n ~seed ->
+        let rand = Sim.Rand.create ~seed:(Int64.of_int (seed + 99)) () in
+        Array.init n (fun _ -> Sim.Rand.bit rand) );
+  ]
+
+let make ?x ?(adversary = "none") ?(inputs = "mixed") ?net
+    ?(budget = Supervise.Budget.unlimited) ?(engine = Auto) ~protocol ~n
+    ~t_max ~seed () =
+  { protocol; n; t_max; x; seed; adversary; inputs; net; budget; engine }
+
+let adversary spec =
+  match List.assoc_opt spec.adversary adversaries with
+  | Some f -> f ()
+  | None -> invalid_arg ("Run_spec.adversary: unknown name " ^ spec.adversary)
+
+let inputs spec =
+  match List.assoc_opt spec.inputs inputs_table with
+  | Some f -> f ~n:spec.n ~seed:spec.seed
+  | None -> invalid_arg ("Run_spec.inputs: unknown pattern " ^ spec.inputs)
+
+(* --- canonical serialization --- *)
+
+let opt_i = function None -> "-" | Some v -> string_of_int v
+let engine_str = function Auto -> "auto" | Legacy -> "legacy"
+
+let to_string spec =
+  (* net last: Net.Spec.to_string never contains spaces, but keeping the
+     only compound token at the end makes the format trivially
+     extensible *)
+  Printf.sprintf "p=%s n=%d t=%d x=%s seed=%d a=%s i=%s engine=%s wall=%s \
+                  rounds=%s msgs=%s rand=%s net=%s"
+    spec.protocol spec.n spec.t_max (opt_i spec.x) spec.seed spec.adversary
+    spec.inputs (engine_str spec.engine)
+    (match spec.budget.Supervise.Budget.wall_s with
+    | None -> "-"
+    | Some w -> Printf.sprintf "%h" w)
+    (opt_i spec.budget.Supervise.Budget.max_rounds)
+    (opt_i spec.budget.Supervise.Budget.max_messages)
+    (opt_i spec.budget.Supervise.Budget.max_rand_bits)
+    (match spec.net with None -> "-" | Some s -> Net.Spec.to_string s)
+
+let digest spec = Digest.to_hex (Digest.string (to_string spec))
+
+let to_command spec =
+  Printf.sprintf "dune exec bin/consensus_sim.exe -- run --spec '%s'"
+    (to_string spec)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let field name tok =
+    let pre = name ^ "=" in
+    let pl = String.length pre in
+    if String.length tok >= pl && String.sub tok 0 pl = pre then
+      Ok (String.sub tok pl (String.length tok - pl))
+    else Error (Printf.sprintf "run spec: expected %s=..., got %S" name tok)
+  in
+  let int name v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "run spec: %s must be an integer, not %S" name v)
+  in
+  let opt_int name = function
+    | "-" -> Ok None
+    | v -> Result.map Option.some (int name v)
+  in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ tp; tn; tt; tx; tseed; ta; ti; teng; twall; trounds; tmsgs; trand; tnet ]
+    ->
+      let* protocol = field "p" tp in
+      let* n = Result.bind (field "n" tn) (int "n") in
+      let* t_max = Result.bind (field "t" tt) (int "t") in
+      let* x = Result.bind (field "x" tx) (opt_int "x") in
+      let* seed = Result.bind (field "seed" tseed) (int "seed") in
+      let* adversary = field "a" ta in
+      let* inputs = field "i" ti in
+      let* engine =
+        Result.bind (field "engine" teng) (function
+          | "auto" -> Ok Auto
+          | "legacy" -> Ok Legacy
+          | v -> Error (Printf.sprintf "run spec: engine must be auto or legacy, not %S" v))
+      in
+      let* wall =
+        Result.bind (field "wall" twall) (function
+          | "-" -> Ok None
+          | v -> (
+              match float_of_string_opt v with
+              | Some f -> Ok (Some f)
+              | None -> Error (Printf.sprintf "run spec: wall must be a float, not %S" v)))
+      in
+      let* rounds = Result.bind (field "rounds" trounds) (opt_int "rounds") in
+      let* msgs = Result.bind (field "msgs" tmsgs) (opt_int "msgs") in
+      let* rand = Result.bind (field "rand" trand) (opt_int "rand") in
+      let* net =
+        Result.bind (field "net" tnet) (function
+          | "-" -> Ok None
+          | v -> Result.map Option.some (Net.Spec.of_string v))
+      in
+      let* () =
+        if List.mem_assoc adversary adversaries then Ok ()
+        else
+          Error
+            (Printf.sprintf "run spec: unknown adversary %S; one of %s"
+               adversary
+               (String.concat ", " (List.map fst adversaries)))
+      in
+      let* () =
+        if List.mem_assoc inputs inputs_table then Ok ()
+        else
+          Error
+            (Printf.sprintf "run spec: unknown inputs %S; one of %s" inputs
+               (String.concat ", " (List.map fst inputs_table)))
+      in
+      Ok
+        {
+          protocol;
+          n;
+          t_max;
+          x;
+          seed;
+          adversary;
+          inputs;
+          net;
+          budget =
+            {
+              Supervise.Budget.wall_s = wall;
+              max_rounds = rounds;
+              max_messages = msgs;
+              max_rand_bits = rand;
+            };
+          engine;
+        }
+  | _ ->
+      Error
+        "run spec: expected 13 space-separated k=v tokens \
+         (p n t x seed a i engine wall rounds msgs rand net)"
+
+(* --- resolution and execution --- *)
+
+let resolve spec =
+  if spec.protocol = "param" then
+    Ok
+      ( Consensus.Param_omissions.builder ~x:(Option.value spec.x ~default:4) (),
+        None )
+  else
+    match Harness.Registry.find spec.protocol with
+    | Ok e ->
+        Ok
+          ( e.Harness.Registry.builder,
+            match spec.engine with
+            | Legacy -> None
+            | Auto -> e.Harness.Registry.buffered )
+    | Error msg -> Error (msg ^ " (plus \"param\", which takes -x)")
+
+let config spec builder =
+  let module B = (val builder : Sim.Protocol_intf.BUILDER) in
+  let cfg0 = Sim.Config.make ~n:spec.n ~t_max:spec.t_max ~seed:spec.seed () in
+  { cfg0 with Sim.Config.max_rounds = B.rounds_needed cfg0 }
+
+let execute ?trace ?store spec =
+  match resolve spec with
+  | Error msg -> invalid_arg ("Run_spec.execute: " ^ msg)
+  | Ok (builder, buffered) -> (
+      let module B = (val builder : Sim.Protocol_intf.BUILDER) in
+      let cfg = config spec builder in
+      let proto =
+        match (buffered, spec.engine) with
+        | Some f, Auto -> Sim.Protocol_intf.Buffered (f cfg)
+        | _ -> Sim.Protocol_intf.Legacy (B.build cfg)
+      in
+      let key = to_string spec in
+      let adversary = adversary spec in
+      let inputs = inputs spec in
+      match spec.net with
+      | None -> (
+          match
+            Supervise.Cached.run_any ?trace ~budget:spec.budget ?store ~key
+              proto cfg ~adversary ~inputs
+          with
+          | Ok o -> Ok (o, None)
+          | Error (k, p) -> Error (k, Option.map (fun o -> (o, None)) p))
+      | Some net -> (
+          match
+            Supervise.Cached.run_net ?trace ~budget:spec.budget ?store ~key
+              ~net proto cfg ~adversary ~inputs
+          with
+          | Ok (o, d) -> Ok (o, Some d)
+          | Error (k, p) ->
+              Error (k, Option.map (fun (o, d) -> (o, Some d)) p)))
+
+module Cli = struct
+  type budget_flags = { wall : float; rounds : int; msgs : int; rand : int }
+
+  let no_budget = { wall = 0.; rounds = 0; msgs = 0; rand = 0 }
+
+  let budget_of_flags b =
+    let posf v = if v <= 0. then None else Some v in
+    let posi v = if v <= 0 then None else Some v in
+    {
+      Supervise.Budget.wall_s = posf b.wall;
+      max_rounds = posi b.rounds;
+      max_messages = posi b.msgs;
+      max_rand_bits = posi b.rand;
+    }
+
+  let net_or_die s =
+    match Net.Spec.of_string s with
+    | Ok spec -> spec
+    | Error m ->
+        Fmt.epr "%s@." m;
+        Stdlib.exit 2
+
+  let format_or_die s =
+    match Trace.format_of_string s with
+    | Some f -> f
+    | None ->
+        Fmt.epr "--trace-format must be jsonl or binary, not %S@." s;
+        Stdlib.exit 2
+
+  let store_of_flags ~cache ~no_cache =
+    if no_cache || cache = "" then None
+    else Some (Cache.Store.open_ ~dir:cache ())
+
+  let adversary_names = List.map fst adversaries
+  let inputs_names = List.map fst inputs_table
+end

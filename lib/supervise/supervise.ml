@@ -439,3 +439,235 @@ module Chaos = struct
     (* no trailing newline: simulates a torn write mid-row *)
     close_out ch
 end
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed caching layer over run_any / run_net / map.       *)
+(* ------------------------------------------------------------------ *)
+
+module Cached = struct
+  (* Engine-outcome codec. Tokens are space-separated; the two array
+     fields come first and use "." when empty so the token count is
+     fixed. Decisions are comma-joined with "-" for None; faulty is a
+     0/1 character string. *)
+  let outcome_to_string (o : Sim.Engine.outcome) =
+    let dec =
+      if Array.length o.Sim.Engine.decisions = 0 then "."
+      else
+        String.concat ","
+          (Array.to_list
+             (Array.map
+                (function None -> "-" | Some v -> string_of_int v)
+                o.Sim.Engine.decisions))
+    in
+    let fau =
+      if Array.length o.Sim.Engine.faulty = 0 then "."
+      else
+        String.init
+          (Array.length o.Sim.Engine.faulty)
+          (fun i -> if o.Sim.Engine.faulty.(i) then '1' else '0')
+    in
+    Printf.sprintf "%s %s %d %s %d %d %d %d %d %d" dec fau
+      o.Sim.Engine.rounds_total
+      (match o.Sim.Engine.decided_round with
+      | None -> "-"
+      | Some r -> string_of_int r)
+      o.Sim.Engine.messages_sent o.Sim.Engine.bits_sent
+      o.Sim.Engine.messages_omitted o.Sim.Engine.rand_calls
+      o.Sim.Engine.rand_bits o.Sim.Engine.faults_used
+
+  let outcome_of_string s =
+    match String.split_on_char ' ' s with
+    | [ dec; fau; rt; dr; ms; bs; mo; rc; rb; fu ] -> (
+        try
+          let decisions =
+            if dec = "." then [||]
+            else
+              Array.of_list
+                (List.map
+                   (function "-" -> None | v -> Some (int_of_string v))
+                   (String.split_on_char ',' dec))
+          in
+          let faulty =
+            if fau = "." then [||]
+            else
+              Array.init (String.length fau) (fun i ->
+                  match fau.[i] with
+                  | '1' -> true
+                  | '0' -> false
+                  | _ -> failwith "faulty")
+          in
+          Some
+            {
+              Sim.Engine.decisions;
+              faulty;
+              rounds_total = int_of_string rt;
+              decided_round =
+                (if dr = "-" then None else Some (int_of_string dr));
+              messages_sent = int_of_string ms;
+              bits_sent = int_of_string bs;
+              messages_omitted = int_of_string mo;
+              rand_calls = int_of_string rc;
+              rand_bits = int_of_string rb;
+              faults_used = int_of_string fu;
+            }
+        with _ -> None)
+    | _ -> None
+
+  let ints_to_token = function
+    | [] -> "."
+    | l -> String.concat "," (List.map string_of_int l)
+
+  let ints_of_token = function
+    | "." -> []
+    | s -> List.map int_of_string (String.split_on_char ',' s)
+
+  (* Degradation codec: Net.Spec.to_string is canonical (round-trips
+     through of_string) and contains no spaces, so it is a safe leading
+     token. *)
+  let degradation_to_string (d : Net.Degradation.t) =
+    Printf.sprintf "%s %d %d %d %d %d %d %d %d %d %d %s %s %s %s %d %b"
+      (Net.Spec.to_string d.Net.Degradation.spec)
+      d.Net.Degradation.attempts d.Net.Degradation.retransmits
+      d.Net.Degradation.drops d.Net.Degradation.dups d.Net.Degradation.delays
+      d.Net.Degradation.stalls d.Net.Degradation.residual
+      d.Net.Degradation.rounds d.Net.Degradation.active_rounds
+      d.Net.Degradation.slots
+      (ints_to_token (Array.to_list d.Net.Degradation.induced_per_pid))
+      (ints_to_token d.Net.Degradation.induced_faulty)
+      (ints_to_token d.Net.Degradation.adversarial_faulty)
+      (ints_to_token d.Net.Degradation.effective_faulty)
+      d.Net.Degradation.t_max d.Net.Degradation.beyond_model
+
+  let degradation_of_string s =
+    match String.split_on_char ' ' s with
+    | [ spec; at; rt; dr; du; de; st; rs; ro; ar; sl; ipp; ind; adv; eff; tm;
+        bm ] -> (
+        match Net.Spec.of_string spec with
+        | Error _ -> None
+        | Ok spec -> (
+            try
+              Some
+                {
+                  Net.Degradation.spec;
+                  attempts = int_of_string at;
+                  retransmits = int_of_string rt;
+                  drops = int_of_string dr;
+                  dups = int_of_string du;
+                  delays = int_of_string de;
+                  stalls = int_of_string st;
+                  residual = int_of_string rs;
+                  rounds = int_of_string ro;
+                  active_rounds = int_of_string ar;
+                  slots = int_of_string sl;
+                  induced_per_pid = Array.of_list (ints_of_token ipp);
+                  induced_faulty = ints_of_token ind;
+                  adversarial_faulty = ints_of_token adv;
+                  effective_faulty = ints_of_token eff;
+                  t_max = int_of_string tm;
+                  beyond_model = bool_of_string bm;
+                }
+            with _ -> None))
+    | _ -> None
+
+  let net_to_string (o, d) =
+    outcome_to_string o ^ "\n" ^ degradation_to_string d
+
+  let net_of_string s =
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i -> (
+        match
+          ( outcome_of_string (String.sub s 0 i),
+            degradation_of_string
+              (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Some o, Some d -> Some (o, d)
+        | _ -> None)
+
+  let emit_hit trace st key =
+    match trace with
+    | None -> ()
+    | Some sink ->
+        Trace.Sink.emit sink
+          (Trace.Event.Cache_hit { key = Cache.Store.digest_key st key })
+
+  (* Only successes are cached: failures and degraded runs must re-run
+     (and re-report) every time — a quarantine served from a cache would
+     hide a flaky environment. An undecodable payload (fingerprint
+     collision, hand-edited store) falls through to a fresh run. *)
+  let run_any ?on_round ?trace ?link ?budget ?store ~key proto cfg ~adversary
+      ~inputs =
+    let fresh () = run_any ?on_round ?trace ?link ?budget proto cfg ~adversary ~inputs in
+    match store with
+    | None -> fresh ()
+    | Some st -> (
+        match Option.bind (Cache.Store.lookup st key) outcome_of_string with
+        | Some o ->
+            emit_hit trace st key;
+            Ok o
+        | None ->
+            let r = fresh () in
+            (match r with
+            | Ok o -> Cache.Store.add st ~key (outcome_to_string o)
+            | Error _ -> ());
+            r)
+
+  let run_net ?on_round ?trace ?budget ?store ~key ~net proto cfg ~adversary
+      ~inputs =
+    let fresh () = run_net ?on_round ?trace ?budget ~net proto cfg ~adversary ~inputs in
+    match store with
+    | None -> fresh ()
+    | Some st -> (
+        match Option.bind (Cache.Store.lookup st key) net_of_string with
+        | Some od ->
+            emit_hit trace st key;
+            Ok od
+        | None ->
+            let r = fresh () in
+            (match r with
+            | Ok od -> Cache.Store.add st ~key (net_to_string od)
+            | Error _ -> ());
+            r)
+
+  (* Cache-aware quarantining map: consult the store per element, run
+     only the misses through the domain pool, merge in input order and
+     write fresh successes back. [describe] still sees original indices. *)
+  let map ?jobs ?budget ?describe ?store ~key ~codec f xs =
+    match store with
+    | None -> map ?jobs ?budget ?describe f xs
+    | Some st ->
+        let enc, dec = codec in
+        let n = Array.length xs in
+        let cached = Array.make n None in
+        Array.iteri
+          (fun i x ->
+            match Option.bind (Cache.Store.lookup st (key x)) dec with
+            | Some v -> cached.(i) <- Some v
+            | None -> ())
+          xs;
+        let torun_idx =
+          Array.of_list
+            (List.filter
+               (fun i -> cached.(i) = None)
+               (List.init n (fun i -> i)))
+        in
+        let describe' =
+          Option.map (fun d j x -> d torun_idx.(j) x) describe
+        in
+        let fresh =
+          map ?jobs ?budget ?describe:describe' f
+            (Array.map (fun i -> xs.(i)) torun_idx)
+        in
+        Array.iteri
+          (fun j r ->
+            match r with
+            | Ok v -> Cache.Store.add st ~key:(key xs.(torun_idx.(j))) (enc v)
+            | Error _ -> ())
+          fresh;
+        let fresh_pos = Array.make n (-1) in
+        Array.iteri (fun j i -> fresh_pos.(i) <- j) torun_idx;
+        Array.init n (fun i ->
+            match cached.(i) with
+            | Some v -> Ok v
+            | None -> fresh.(fresh_pos.(i)))
+end

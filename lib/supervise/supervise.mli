@@ -262,3 +262,67 @@ module Chaos : sig
   val corrupt_journal : path:string -> unit
   (** Append {!corrupt_row} to a journal file — simulates a torn write. *)
 end
+
+module Cached : sig
+  (** Content-addressed caching layer over {!run_any}, {!run_net} and
+      {!map}. [key] is the caller's canonical serialization of
+      everything that determines the result (a [Run_spec] string for
+      protocol runs, an experiment point string for bench tasks); the
+      store addresses it under [digest(fingerprint, key)], so a code
+      fingerprint bump invalidates everything at once.
+
+      Only successes are cached. Failures, budget breaches and degraded
+      runs re-run (and re-report) every time: a quarantine served from a
+      cache would hide a flaky environment. Hits emit a
+      {!Trace.Event.Cache_hit} provenance event into the trace sink, if
+      one is given, and never invoke [on_round]. *)
+
+  val outcome_to_string : Sim.Engine.outcome -> string
+  val outcome_of_string : string -> Sim.Engine.outcome option
+
+  val net_to_string : Sim.Engine.outcome * Net.Degradation.t -> string
+  val net_of_string : string -> (Sim.Engine.outcome * Net.Degradation.t) option
+
+  val run_any :
+    ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
+    ?trace:Trace.Sink.t ->
+    ?link:Sim.Link_intf.t ->
+    ?budget:Budget.t ->
+    ?store:Cache.Store.t ->
+    key:string ->
+    Sim.Protocol_intf.any ->
+    Sim.Config.t ->
+    adversary:Sim.Adversary_intf.t ->
+    inputs:int array ->
+    (Sim.Engine.outcome, failure_kind * Sim.Engine.outcome option) result
+
+  val run_net :
+    ?on_round:(round:int -> Sim.View.envelope array -> unit) ->
+    ?trace:Trace.Sink.t ->
+    ?budget:Budget.t ->
+    ?store:Cache.Store.t ->
+    key:string ->
+    net:Net.Spec.t ->
+    Sim.Protocol_intf.any ->
+    Sim.Config.t ->
+    adversary:Sim.Adversary_intf.t ->
+    inputs:int array ->
+    ( Sim.Engine.outcome * Net.Degradation.t,
+      failure_kind * (Sim.Engine.outcome * Net.Degradation.t) option )
+    result
+
+  val map :
+    ?jobs:int ->
+    ?budget:Budget.t ->
+    ?describe:(int -> 'a -> descriptor) ->
+    ?store:Cache.Store.t ->
+    key:('a -> string) ->
+    codec:(('b -> string) * (string -> 'b option)) ->
+    ('a -> 'b) ->
+    'a array ->
+    ('b, failure) result array
+  (** Cache-aware {!map}: each element is looked up first; only misses
+      are dispatched to the domain pool; fresh successes are written
+      back. Results land in input order, and [describe] sees original
+      indices, so the quarantine/replay contract is unchanged. *)
+end

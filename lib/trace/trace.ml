@@ -42,8 +42,13 @@ module Event = struct
     | Retransmit of { round : int; src : int; dst : int; attempt : int; backoff : int }
     | Ack of { round : int; src : int; dst : int; attempt : int }
     | Degrade of { round : int; src : int; dst : int; attempts : int }
+    (* cache provenance: the run was not executed — its outcome was
+       served from a content-addressed store under [key] (the hex
+       digest, never the raw spec). Emitted before any round event. *)
+    | Cache_hit of { key : string }
 
   let round = function
+    | Cache_hit _ -> 0
     | Round_start { round }
     | Send { round; _ }
     | Corrupt { round; _ }
@@ -119,6 +124,8 @@ module Event = struct
         Printf.sprintf
           {|{"ev":"degrade","round":%d,"src":%d,"dst":%d,"attempts":%d}|} round
           src dst attempts
+    (* keys are hex digests: no commas, colons, or quotes to escape *)
+    | Cache_hit { key } -> Printf.sprintf {|{"ev":"cache-hit","key":"%s"}|} key
 
   (* Parses exactly the flat one-line objects [to_json] writes: string
      values never contain commas or colons, so splitting is safe. *)
@@ -268,6 +275,7 @@ module Event = struct
                     dst = int "dst";
                     attempts = int "attempts";
                   }
+            | "cache-hit" -> Cache_hit { key = str "key" }
             | _ -> raise Exit
           with
           | e -> Some e
@@ -315,6 +323,7 @@ module Event = struct
     | Degrade { round; src; dst; attempts } ->
         Fmt.pf ppf "r%-4d degrade %d -> %d lost after %d attempts" round src
           dst attempts
+    | Cache_hit { key } -> Fmt.pf ppf "r0    cache-hit %s" key
 
   (* --- compact binary codec (tag byte + LEB128 varints) --- *)
 
@@ -334,6 +343,7 @@ module Event = struct
     | Retransmit _ -> 12
     | Ack _ -> 13
     | Degrade _ -> 14
+    | Cache_hit _ -> 15
 
   let put_uv b n =
     if n < 0 then invalid_arg "Trace.Event: negative field in binary codec";
@@ -412,6 +422,9 @@ module Event = struct
         put_uv b dst;
         put_uv b attempt;
         put_uv b backoff
+    | Cache_hit { key } ->
+        put_uv b (String.length key);
+        Buffer.add_string b key
 
   exception Truncated
 
@@ -507,6 +520,12 @@ module Event = struct
         let src = uv () in
         let dst = uv () in
         Degrade { round; src; dst; attempts = uv () }
+    | 15 ->
+        let len = uv () in
+        if !pos + len > String.length s then raise Truncated;
+        let key = String.sub s !pos len in
+        pos := !pos + len;
+        Cache_hit { key }
     | t -> raise (Failure (Printf.sprintf "Trace: unknown binary tag %d" t))
 end
 
@@ -730,7 +749,7 @@ module Metrics = struct
             :: !acc;
       | Event.Send _ | Event.Omit _ | Event.Deliver _ | Event.Phase _
       | Event.Drop _ | Event.Dup _ | Event.Delay _ | Event.Retransmit _
-      | Event.Ack _ | Event.Degrade _ -> ()
+      | Event.Ack _ | Event.Degrade _ | Event.Cache_hit _ -> ()
     in
     let summary () =
       let rounds = List.rev !acc in

@@ -67,6 +67,10 @@ module Event : sig
     | Degrade of { round : int; src : int; dst : int; attempts : int }
         (** the retry budget ran dry: a residual loss, re-expressed as an
             induced omission (see [Net.Degradation]) *)
+    | Cache_hit of { key : string }
+        (** provenance marker: this run was not executed — its outcome was
+            served from a content-addressed store under [key] (the hex
+            digest). Emitted as the only event of the run, at round 0. *)
 
   val round : t -> int
   val equal : t -> t -> bool

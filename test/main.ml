@@ -25,4 +25,5 @@ let () =
     ("mailbox", Test_mailbox.suite);
     ("engine-equiv", Test_engine_equiv.suite);
     ("net", Test_net.suite);
+    ("cache", Test_cache.suite);
     ]

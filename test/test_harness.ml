@@ -169,9 +169,28 @@ let test_registry_complete () =
       "operative-broadcast";
     ];
   Alcotest.(check bool) "find hit" true
-    (Harness.Registry.find "optimal" <> None);
-  Alcotest.(check bool) "find miss" true
-    (Harness.Registry.find "no-such-protocol" = None)
+    (Result.is_ok (Harness.Registry.find "optimal"));
+  (match Harness.Registry.find "no-such-protocol" with
+  | Ok _ -> Alcotest.fail "find miss must be Error"
+  | Error msg ->
+      Alcotest.(check bool) "error names the id" true
+        (let sub = {|"no-such-protocol"|} in
+         let rec has i =
+           i + String.length sub <= String.length msg
+           && (String.sub msg i (String.length sub) = sub || has (i + 1))
+         in
+         has 0);
+      List.iter
+        (fun id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error lists %s" id)
+            true
+            (let rec has i =
+               i + String.length id <= String.length msg
+               && (String.sub msg i (String.length id) = id || has (i + 1))
+             in
+             has 0))
+        (Harness.Registry.ids ()))
 
 let test_runner_determinism () =
   let s =

@@ -7,8 +7,8 @@
 let run_entry id ~n ~t ~inputs ~strategy =
   let entry =
     match Harness.Registry.find id with
-    | Some e -> e
-    | None -> Alcotest.failf "protocol %s not registered" id
+    | Ok e -> e
+    | Error msg -> Alcotest.failf "%s" msg
   in
   let strategy = Harness.Strategy.of_string strategy in
   let inputs = Array.of_list inputs in
