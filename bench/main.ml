@@ -53,6 +53,7 @@ let experiments =
     ("abl-epochs", Ablations.abl_epochs);
     ("micro-engine", Micro.engine_bench);
     ("net", Netbench.net);
+    ("scale", Scale.scale);
   ]
 
 let () =
@@ -140,6 +141,11 @@ let () =
         Arg.Set_string net_spec,
         "SPEC  base lossy-link spec for the \"net\" experiment (same syntax \
          as consensus_sim --net; the sweep varies the drop rate around it)" );
+      ( "--scale-path",
+        Arg.String Scale.set_path,
+        "both|classic|fast  delivery paths measured by the \"scale\" \
+         experiment (default both; kind=\"scale\" rows are identical on \
+         either path)" );
       ( "--cache",
         Arg.Set_string cache,
         "DIR  content-addressed run cache: protocol runs already in DIR are \

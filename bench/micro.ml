@@ -113,23 +113,20 @@ let measure_runs f ~runs =
   let w1 = words_allocated () in
   (w1 -. w0, !rounds, wall)
 
-let engine_case ~name ~n ~t ~runs ~legacy ~buffered =
-  let cfg = Sim.Config.make ~n ~t_max:t ~seed:1 ~max_rounds:20000 () in
-  let inputs = Array.init n (fun i -> i mod 2) in
-  let adversary = Sim.Adversary_intf.none in
-  (* lazy so a fully cache-served case never constructs its protocols *)
-  let legacy_proto = lazy (legacy cfg) in
-  let inst = lazy (Sim.Engine.instance (buffered cfg) cfg) in
-  let run_path path f =
-    (* Allocation counts are a pure function of the case (runs are
-       seeded, the allocator is deterministic), so they cache like any
-       other run result — payload "words_per_round rounds" with the
-       float as %h for an exact round-trip. Throughput never caches:
-       it measures this machine's clock, and a hit skips its row just
-       as --stable-json omits it. *)
-    let key =
-      Printf.sprintf "micro-engine|%s|%s|n=%d|t=%d|runs=%d" name path n t runs
-    in
+(* One (protocol, path, n) measurement: cache lookup, the gated
+   kind="micro" row, the logged kind="micro-throughput" row. Shared by
+   the legacy/buffered columns and the masked column below.
+
+   Allocation counts are a pure function of the case (runs are
+   seeded, the allocator is deterministic), so they cache like any
+   other run result — payload "words_per_round rounds" with the
+   float as %h for an exact round-trip. Throughput never caches:
+   it measures this machine's clock, and a hit skips its row just
+   as --stable-json omits it. *)
+let measure_path ~name ~path ~n ~t ~runs f =
+  let key =
+    Printf.sprintf "micro-engine|%s|%s|n=%d|t=%d|runs=%d" name path n t runs
+  in
     let cached =
       match !Bench_util.store with
       | None -> None
@@ -175,19 +172,43 @@ let engine_case ~name ~n ~t ~runs ~legacy ~buffered =
             ("rounds_per_sec", Out.F (float_of_int rounds /. wall));
           ]
     | _ -> ());
-    wpr
-  in
+  wpr
+
+let engine_case ~name ~n ~t ~runs ~legacy ~buffered =
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed:1 ~max_rounds:20000 () in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let adversary = Sim.Adversary_intf.none in
+  (* lazy so a fully cache-served case never constructs its protocols *)
+  let legacy_proto = lazy (legacy cfg) in
+  let inst = lazy (Sim.Engine.instance (buffered cfg) cfg) in
   let w_legacy =
-    run_path "legacy" (fun () ->
+    measure_path ~name ~path:"legacy" ~n ~t ~runs (fun () ->
         Sim.Engine.run (Lazy.force legacy_proto) cfg ~adversary ~inputs)
   in
   let w_buffered =
-    run_path "buffered" (fun () ->
+    measure_path ~name ~path:"buffered" ~n ~t ~runs (fun () ->
         Sim.Engine.run_instance (Lazy.force inst) ~adversary ~inputs)
   in
   Bench_util.row "%-14s n=%-4d t=%-3d %12.0f w/rnd legacy %12.0f buffered (%.1fx)\n"
     name n t w_legacy w_buffered
     (w_legacy /. Float.max 1. w_buffered)
+
+(* Allocation on the compiled-mask delivery route: the buffered instance
+   driven by a structured adversary whose plan carries per-sender masks,
+   so an untraced run takes the mask-blit / broadcast-table path the
+   scale experiment measures for throughput. Same gated metric
+   (words/round), same baseline mechanics, path="masked". The adversary
+   is rebuilt per run: strategies close over mutable schedule state. *)
+let masked_case ~name ~n ~t ~runs ~buffered ~adversary =
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed:1 ~max_rounds:20000 () in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let inst = lazy (Sim.Engine.instance (buffered cfg) cfg) in
+  let w =
+    measure_path ~name ~path:"masked" ~n ~t ~runs (fun () ->
+        Sim.Engine.run_instance (Lazy.force inst) ~adversary:(adversary ())
+          ~inputs)
+  in
+  Bench_util.row "%-14s n=%-4d t=%-3d %12.0f w/rnd masked\n" name n t w
 
 (* The sizes keep the legacy path affordable (dolev-strong relays are
    O(n^2) per round); flood includes n=256 even in quick mode because the
@@ -203,6 +224,15 @@ let engine_bench ~quick () =
         ~legacy:Consensus.Flood.protocol
         ~buffered:Consensus.Flood.protocol_buffered)
     (if quick then [ 64; 256 ] else [ 64; 256; 512 ]);
+  (* flood under a compiled-mask crash schedule at the sizes the scale
+     sweep gates — allocation on the new delivery route, both modes *)
+  List.iter
+    (fun n ->
+      masked_case ~name:"flood" ~n ~t:8 ~runs
+        ~buffered:Consensus.Flood.protocol_buffered
+        ~adversary:(fun () ->
+          Adversary.crash_schedule [ (1, [ 0 ]); (2, [ 1 ]); (3, [ 2 ]) ]))
+    [ 256; 1024 ];
   List.iter
     (fun n ->
       engine_case ~name:"dolev-strong" ~n ~t:4 ~runs

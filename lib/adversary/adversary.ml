@@ -19,12 +19,23 @@ let take k l =
 
 (* Shared helper: maintain a crash set; each round corrupt the newly chosen
    victims and silence every message they send (classic crash semantics:
-   outgoing only). *)
-let crash_set_plan crashed new_victims =
-  List.iter (fun pid -> Hashtbl.replace crashed pid ()) new_victims;
+   outgoing only). The set is mirrored in a [Bytes] flag per pid, which
+   both feeds the hot-path predicate (no hashing per message) and compiles
+   to the per-sender verdict the engine's mask-blit path wants. *)
+let crash_set_plan crashed crashed_b new_victims =
+  List.iter
+    (fun pid ->
+      Hashtbl.replace crashed pid ();
+      Bytes.set crashed_b pid '\001')
+    new_victims;
   {
     Sim.View.new_faults = new_victims;
-    omit = (fun src _dst -> Hashtbl.mem crashed src);
+    omit = (fun src _dst -> Bytes.get crashed_b src <> '\000');
+    compiled =
+      Some
+        (fun src ->
+          if Bytes.get crashed_b src <> '\000' then Sim.View.Omit_all
+          else Sim.View.Deliver_all);
   }
 
 (** Crash the given processes at the given rounds (permanently silent from
@@ -35,6 +46,7 @@ let crash_schedule schedule =
     create =
       (fun cfg _rand ->
         let crashed = Hashtbl.create 16 in
+        let crashed_b = Bytes.make cfg.Sim.Config.n '\000' in
         fun view ->
           let victims =
             List.concat_map
@@ -48,7 +60,7 @@ let crash_schedule schedule =
               victims
           in
           let budget = cfg.Sim.Config.t_max - view.faults_used in
-          crash_set_plan crashed (take budget victims));
+          crash_set_plan crashed crashed_b (take budget victims));
   }
 
 (** Corrupt [t_max] processes chosen uniformly at round 1, then omit each of
@@ -59,7 +71,10 @@ let random_omission ~p_omit =
     Sim.Adversary_intf.name = Printf.sprintf "random-omission(p=%.2f)" p_omit;
     create =
       (fun cfg rand ->
-        let faulty_set = Hashtbl.create 16 in
+        (* byte-per-pid snapshot of the fault set: the predicate below runs
+           once per (src, dst) pair, so probing a Hashtbl there was the
+           hottest lookup in randomized runs *)
+        let faulty_b = Bytes.make cfg.Sim.Config.n '\000' in
         let chosen = ref false in
         fun view ->
           let new_faults =
@@ -71,17 +86,22 @@ let random_omission ~p_omit =
               let victims =
                 Array.to_list (Array.sub perm 0 cfg.Sim.Config.t_max)
               in
-              List.iter (fun pid -> Hashtbl.replace faulty_set pid ()) victims;
+              List.iter (fun pid -> Bytes.set faulty_b pid '\001') victims;
               victims
             end
           in
           ignore view;
           {
+            (* stays pointwise ([compiled = None]): the predicate draws one
+               random float per incident message, and that draw order is
+               part of the observable bit-stream *)
             Sim.View.new_faults;
             omit =
               (fun src dst ->
-                (Hashtbl.mem faulty_set src || Hashtbl.mem faulty_set dst)
+                (Bytes.get faulty_b src <> '\000'
+                || Bytes.get faulty_b dst <> '\000')
                 && Sim.Rand.float rand < p_omit);
+            compiled = None;
           });
   }
 
@@ -103,10 +123,20 @@ let group_killer ?(group = 0) () =
           take (min victims_wanted cfg.Sim.Config.t_max)
             (Array.to_list members)
         in
-        let victim_set = Hashtbl.create 16 in
-        List.iter (fun pid -> Hashtbl.replace victim_set pid ()) victims;
-        let member_set = Hashtbl.create 16 in
-        Array.iter (fun pid -> Hashtbl.replace member_set pid ()) members;
+        let victim_b = Bytes.make n '\000' in
+        List.iter (fun pid -> Bytes.set victim_b pid '\001') victims;
+        let member_b = Bytes.make n '\000' in
+        Array.iter (fun pid -> Bytes.set member_b pid '\001') members;
+        (* static fault structure, so the per-sender verdict compiles once:
+           a victim silences its whole group (victims included), a
+           non-victim member loses exactly its victim links, outsiders are
+           untouched *)
+        let compiled src =
+          if Bytes.get victim_b src <> '\000' then Sim.View.Omit_mask member_b
+          else if Bytes.get member_b src <> '\000' then
+            Sim.View.Omit_mask victim_b
+          else Sim.View.Deliver_all
+        in
         let started = ref false in
         fun _view ->
           let new_faults =
@@ -120,8 +150,11 @@ let group_killer ?(group = 0) () =
             Sim.View.new_faults;
             omit =
               (fun src dst ->
-                (Hashtbl.mem victim_set src && Hashtbl.mem member_set dst)
-                || (Hashtbl.mem victim_set dst && Hashtbl.mem member_set src));
+                (Bytes.get victim_b src <> '\000'
+                && Bytes.get member_b dst <> '\000')
+                || (Bytes.get victim_b dst <> '\000'
+                   && Bytes.get member_b src <> '\000'));
+            compiled = Some compiled;
           });
   }
 
@@ -137,6 +170,19 @@ let eclipse ~victim =
     create =
       (fun cfg _rand ->
         let corrupted = Hashtbl.create 16 in
+        let corrupted_b = Bytes.make cfg.Sim.Config.n '\000' in
+        let victim_b = Bytes.make cfg.Sim.Config.n '\000' in
+        Bytes.set victim_b victim '\001';
+        (* the two masks are maintained across rounds, so the verdict is a
+           static three-way dispatch: the victim loses its links to the
+           corrupted set, a corrupted process loses exactly its link to the
+           victim, everyone else is untouched *)
+        let compiled src =
+          if src = victim then Sim.View.Omit_mask corrupted_b
+          else if Bytes.get corrupted_b src <> '\000' then
+            Sim.View.Omit_mask victim_b
+          else Sim.View.Deliver_all
+        in
         fun view ->
           let budget = cfg.Sim.Config.t_max - view.Sim.View.faults_used in
           (* corrupt the processes currently sending to the victim *)
@@ -145,7 +191,7 @@ let eclipse ~victim =
             (fun e ->
               if e.Sim.View.dst = victim && e.src <> victim then
                 Hashtbl.replace senders e.src ())
-            view.envelopes;
+            (Sim.View.envelopes view);
           let new_faults =
             Hashtbl.fold
               (fun src () acc ->
@@ -157,13 +203,18 @@ let eclipse ~victim =
               senders []
           in
           let new_faults = take budget (List.sort compare new_faults) in
-          List.iter (fun pid -> Hashtbl.replace corrupted pid ()) new_faults;
+          List.iter
+            (fun pid ->
+              Hashtbl.replace corrupted pid ();
+              Bytes.set corrupted_b pid '\001')
+            new_faults;
           {
             Sim.View.new_faults;
             omit =
               (fun src dst ->
                 (dst = victim && Hashtbl.mem corrupted src)
                 || (src = victim && Hashtbl.mem corrupted dst));
+            compiled = Some compiled;
           });
   }
 
@@ -190,6 +241,11 @@ let vote_splitter ?(slack = 0) () =
     create =
       (fun cfg _rand ->
         let crashed = Hashtbl.create 16 in
+        let crashed_b = Bytes.make cfg.Sim.Config.n '\000' in
+        let crash_compiled src =
+          if Bytes.get crashed_b src <> '\000' then Sim.View.Omit_all
+          else Sim.View.Deliver_all
+        in
         fun view ->
           let c = [| 0; 0 |] in
           let holders = [| []; [] |] in
@@ -225,7 +281,11 @@ let vote_splitter ?(slack = 0) () =
           in
           let victims = List.map snd (take kills candidates) in
           budget := !budget - List.length victims;
-          List.iter (fun pid -> Hashtbl.replace crashed pid ()) victims;
+          List.iter
+            (fun pid ->
+              Hashtbl.replace crashed pid ();
+              Bytes.set crashed_b pid '\001')
+            victims;
           (* Lemma 15 split: only meaningful when the kills reached exact
              balance; the splitter must hold the tie-breaking value 1. *)
           let balanced = abs d - List.length victims = 0 in
@@ -243,6 +303,7 @@ let vote_splitter ?(slack = 0) () =
               {
                 Sim.View.new_faults = victims;
                 omit = (fun src _ -> Hashtbl.mem crashed src);
+                compiled = Some crash_compiled;
               }
           | Some v ->
               (* deliver v's vote to the second half of the survivors only,
@@ -254,20 +315,31 @@ let vote_splitter ?(slack = 0) () =
               in
               let h_size = (List.length survivors + 1) / 2 in
               let hidden_from = Hashtbl.create 16 in
+              let hidden_b = Bytes.make cfg.Sim.Config.n '\000' in
               List.iteri
                 (fun i pid ->
-                  if i < h_size then Hashtbl.replace hidden_from pid ())
+                  if i < h_size then begin
+                    Hashtbl.replace hidden_from pid ();
+                    Bytes.set hidden_b pid '\001'
+                  end)
                 survivors;
               (* v joins [crashed] for future rounds, but this round it
-                 still delivers to the non-hidden half *)
+                 still delivers to the non-hidden half — the [src = v]
+                 dispatch comes first in both forms for that reason *)
               let plan_omit src dst =
                 if src = v then Hashtbl.mem hidden_from dst
                 else Hashtbl.mem crashed src
               in
               Hashtbl.replace crashed v ();
+              Bytes.set crashed_b v '\001';
               {
                 Sim.View.new_faults = v :: victims;
                 omit = plan_omit;
+                compiled =
+                  Some
+                    (fun src ->
+                      if src = v then Sim.View.Omit_mask hidden_b
+                      else crash_compiled src);
               });
   }
 
@@ -279,6 +351,7 @@ let staggered_crash ~per_round =
     create =
       (fun cfg rand ->
         let crashed = Hashtbl.create 16 in
+        let crashed_b = Bytes.make cfg.Sim.Config.n '\000' in
         fun view ->
           let budget = cfg.Sim.Config.t_max - view.Sim.View.faults_used in
           let live = ref [] in
@@ -290,7 +363,7 @@ let staggered_crash ~per_round =
           Sim.Rand.shuffle rand live;
           let k = min (min per_round budget) (Array.length live) in
           let victims = Array.to_list (Array.sub live 0 k) in
-          crash_set_plan crashed victims);
+          crash_set_plan crashed crashed_b victims);
   }
 
 (** All strategies exercised by the integration test grid, with feasible
@@ -317,7 +390,9 @@ let chaotic ?(corrupt_rate = 0.3) ?(omit_rate = 0.5) () =
     Sim.Adversary_intf.name = "chaotic";
     create =
       (fun cfg rand ->
-        let faulty_set = Hashtbl.create 16 in
+        (* byte-per-pid fault flags instead of a Hashtbl probe per message
+           pair (see random_omission) *)
+        let faulty_b = Bytes.make cfg.Sim.Config.n '\000' in
         fun view ->
           let new_faults =
             if
@@ -333,16 +408,35 @@ let chaotic ?(corrupt_rate = 0.3) ?(omit_rate = 0.5) () =
               | l ->
                   let arr = Array.of_list l in
                   let victim = arr.(Sim.Rand.int_below rand (Array.length arr)) in
-                  Hashtbl.replace faulty_set victim ();
+                  Bytes.set faulty_b victim '\001';
                   [ victim ]
             end
             else []
           in
           {
+            (* pointwise for the same reason as random_omission: the
+               per-message randomness draw order is bit-observable *)
             Sim.View.new_faults;
             omit =
               (fun src dst ->
-                (Hashtbl.mem faulty_set src || Hashtbl.mem faulty_set dst)
+                (Bytes.get faulty_b src <> '\000'
+                || Bytes.get faulty_b dst <> '\000')
                 && Sim.Rand.float rand < omit_rate);
+            compiled = None;
           });
+  }
+
+(** [pointwise a]: [a] with the compiled per-sender masks stripped from
+    every plan it returns, forcing the engine onto the general
+    per-message delivery path. The observable run is unchanged — the
+    engine's contract is that compiled masks agree with the predicate —
+    which is exactly what the equivalence suite and the scale bench's
+    classic column use this combinator to demonstrate. *)
+let pointwise (a : Sim.Adversary_intf.t) =
+  {
+    a with
+    Sim.Adversary_intf.create =
+      (fun cfg rand ->
+        let adv = a.Sim.Adversary_intf.create cfg rand in
+        fun view -> { (adv view) with Sim.View.compiled = None });
   }

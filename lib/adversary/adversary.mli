@@ -45,3 +45,10 @@ val chaotic :
 (** Chaos monkey: random corruptions over time and random per-message
     omissions at faulty endpoints — the strategy the property-based tests
     sweep over seeds. *)
+
+val pointwise : Sim.Adversary_intf.t -> Sim.Adversary_intf.t
+(** The same strategy with the compiled per-sender masks stripped from
+    every plan, forcing the engine onto the general per-message delivery
+    path. Observable behaviour is unchanged (compiled masks must agree
+    with the predicate); the equivalence suite and the scale bench's
+    classic column use this to compare the two paths. *)

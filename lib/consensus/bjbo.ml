@@ -62,10 +62,8 @@ let make ?(coin_set_size = max_int) ?(theta_factor = 0.5)
         announced = false;
       }
 
-    let broadcast_into st m ~emit =
-      for dst = 0 to st.n - 1 do
-        if dst <> st.pid then emit dst m
-      done
+    let broadcast_into st m ~emit_all =
+      emit_all ~lo:0 ~hi:(st.n - 1) ~skip:st.pid ~desc:false m
 
     let process st ~iter ~rand =
       (* a decision announcement overrides counting *)
@@ -98,26 +96,28 @@ let make ?(coin_set_size = max_int) ?(theta_factor = 0.5)
 
     (* Shared per-round logic for both engine paths: one shared message
        record per broadcast, ascending destination order. *)
-    let step_core st ~round ~iter ~rand ~emit =
+    let step_core st ~round ~iter ~rand ~emit_all =
       if round > 1 then if st.decided = None then process st ~iter ~rand;
       match st.decided with
       | Some v when not st.announced ->
           st.announced <- true;
-          broadcast_into st (Vote { b = v; final = true }) ~emit
+          broadcast_into st (Vote { b = v; final = true }) ~emit_all
       | Some _ -> ()
-      | None -> broadcast_into st (Vote { b = st.b; final = false }) ~emit
+      | None -> broadcast_into st (Vote { b = st.b; final = false }) ~emit_all
 
     let step _cfg st ~round ~inbox ~rand =
       let out = ref [] in
       step_core st ~round
         ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
         ~rand
-        ~emit:(fun dst m -> out := (dst, m) :: !out);
+        ~emit_all:
+          (Sim.Protocol_intf.emit_all_pointwise (fun dst m ->
+               out := (dst, m) :: !out));
       (st, List.rev !out)
 
-    let step_into _cfg st ~round ~inbox ~rand ~emit =
+    let step_into _cfg st ~round ~inbox ~rand ~emit:_ ~emit_all =
       step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~rand
-        ~emit;
+        ~emit_all;
       st
 
     let observe st =

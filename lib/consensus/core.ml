@@ -70,6 +70,9 @@ type shared = {
   epoch_len : int;
   schedule : slot array;
   vote_log : vote_event list ref option;  (** optional trace for benches *)
+  contig : bool;
+      (** the member pids form a contiguous ascending range — broadcasts to
+          the whole instance can then go out as one range entry *)
   final_broadcast : bool;
       (** emit the line-14 all-to-all broadcast (Algorithm 1). The
           crash-model variant of Appendix B.3 disables it and disseminates
@@ -98,6 +101,11 @@ let make_shared ?vote_log ?(final_broadcast = true) ~members ~seed ~params ~t_ma
   let spread_rounds = Params.spread_rounds params ~n:m in
   let epochs = if m = 1 then 0 else Params.epoch_count params ~n:m ~t_max in
   let epoch_len = (3 * stages) + spread_rounds in
+  let contig =
+    let ok = ref true in
+    Array.iteri (fun i pid -> if pid <> members.(0) + i then ok := false) members;
+    !ok
+  in
   let schedule =
     let slots = ref [ Bcast ] in
     for _ = 1 to epochs do
@@ -124,6 +132,7 @@ let make_shared ?vote_log ?(final_broadcast = true) ~members ~seed ~params ~t_ma
     epoch_len;
     schedule;
     vote_log;
+    contig;
     final_broadcast;
   }
 
@@ -137,6 +146,10 @@ type t = {
   rank : int;
   group_locals : int array;  (** local indices of my group, ascending *)
   group_size : int;
+  group_contig : bool;
+      (** the group's global pids are a contiguous ascending range *)
+  group_lo : int;  (** global pid range of the group when [group_contig] *)
+  group_hi : int;
   quorum : int;
   mutable b : int;
   mutable operative : bool;
@@ -163,6 +176,16 @@ let create sh ~pid ~input =
   let grp = Groups.group_of sh.part me in
   let group_locals = Groups.group sh.part grp in
   let group_size = Array.length group_locals in
+  let group_contig =
+    let ok = ref (group_size > 0) in
+    let base = sh.members.(group_locals.(0)) in
+    Array.iteri
+      (fun i l -> if sh.members.(l) <> base + i then ok := false)
+      group_locals;
+    !ok
+  in
+  let group_lo = if group_size > 0 then sh.members.(group_locals.(0)) else 0 in
+  let group_hi = group_lo + group_size - 1 in
   {
     sh;
     pid;
@@ -171,6 +194,9 @@ let create sh ~pid ~input =
     rank = Groups.rank_of sh.part me;
     group_locals;
     group_size;
+    group_contig;
+    group_lo;
+    group_hi;
     quorum = (group_size / 2) + 1;
     b = input;
     operative = true;
@@ -297,12 +323,17 @@ let agg_finalize_stage st ~slot ~s ~iter =
 (* Group broadcast of one shared message record. Emission walks the member
    array backwards: the old list path built its output by fold-left
    consing, so the wire order (and hence the trace) is the reverse of the
-   array — kept bit-identical here. *)
-let to_group_into st msg ~emit =
-  for i = Array.length st.group_locals - 1 downto 0 do
-    let l = st.group_locals.(i) in
-    if l <> st.me then emit (global st l) msg
-  done
+   array — kept bit-identical here. A contiguous group goes out as one
+   descending broadcast entry; scattered member sets (possible under
+   Algorithm 4's sub-instances) fall back to pointwise emission. *)
+let to_group_into st msg ~emit ~emit_all =
+  if st.group_contig then
+    emit_all ~lo:st.group_lo ~hi:st.group_hi ~skip:st.pid ~desc:true msg
+  else
+    for i = Array.length st.group_locals - 1 downto 0 do
+      let l = st.group_locals.(i) in
+      if l <> st.me then emit (global st l) msg
+    done
 
 (* Emission at a stage's C slot: the transmitter sends each group member the
    result pair for that member's parent bag. *)
@@ -439,11 +470,16 @@ let epoch_begin st =
 
 (* line 14 broadcasts to every member of the instance, not just the group;
    reverse member order for the same wire-order reason as [to_group_into] *)
-let to_group_all_into st msg ~emit =
-  for i = Array.length st.sh.members - 1 downto 0 do
-    let pid = st.sh.members.(i) in
-    if pid <> st.pid then emit pid msg
-  done
+let to_group_all_into st msg ~emit ~emit_all =
+  if st.sh.contig then
+    emit_all ~lo:st.sh.members.(0)
+      ~hi:st.sh.members.(st.sh.m - 1)
+      ~skip:st.pid ~desc:true msg
+  else
+    for i = Array.length st.sh.members - 1 downto 0 do
+      let pid = st.sh.members.(i) in
+      if pid <> st.pid then emit pid msg
+    done
 
 (** Iterator core of {!step}: [iter f] must call [f src m] for every
     message of the previous slot's inbox in delivery order; outgoing
@@ -451,8 +487,10 @@ let to_group_all_into st msg ~emit =
     list path would return them. The entry pass emits the Confirm
     acknowledgments directly — an [Agg_a] slot is always followed by the
     matching [Agg_b] slot, and entry processing shares the emission's
-    [transmits] guard. *)
-let step_into st ~slot ~iter ~rand ~emit =
+    [transmits] guard. Full-group/full-instance broadcasts go through
+    [emit_all] (one shared record + range); per-destination messages stay
+    on [emit]. *)
+let step_into st ~slot ~iter ~rand ~emit ~emit_all =
   (if slot > 1 then
      match st.sh.schedule.(slot - 2) with
      | Agg_a s ->
@@ -472,7 +510,7 @@ let step_into st ~slot ~iter ~rand ~emit =
         st.sourced <- true;
         to_group_into st
           (Counts { stage = s; bag = st.rank lsr (s - 1); c = st.agg })
-          ~emit
+          ~emit ~emit_all
       end
       else st.sourced <- false
   | Agg_b _ -> () (* the Confirms went out during the entry pass above *)
@@ -482,14 +520,15 @@ let step_into st ~slot ~iter ~rand ~emit =
       spread_emit_into st ~emit
   | Bcast ->
       if st.sh.final_broadcast && st.operative && st.decided then
-        to_group_all_into st (Final st.b) ~emit
+        to_group_all_into st (Final st.b) ~emit ~emit_all
 
 (** Run local slot [slot] (1-based, up to [rounds sh]). Mutates the state
     and returns the messages to send, addressed to global pids. *)
 let step st ~slot ~inbox ~rand =
   let out = ref [] in
-  step_into st ~slot ~iter:(iter_of_list inbox) ~rand ~emit:(fun dst m ->
-      out := (dst, m) :: !out);
+  let emit dst m = out := (dst, m) :: !out in
+  step_into st ~slot ~iter:(iter_of_list inbox) ~rand ~emit
+    ~emit_all:(Sim.Protocol_intf.emit_all_pointwise emit);
   List.rev !out
 
 (** Iterator core of {!finalize} (lines 15-16); same [iter] contract as

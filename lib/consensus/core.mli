@@ -50,6 +50,9 @@ type shared = {
   epoch_len : int;
   schedule : slot array;
   vote_log : vote_event list ref option;
+  contig : bool;
+      (** member pids form a contiguous ascending range — whole-instance
+          broadcasts then go out as one range entry *)
   final_broadcast : bool;
 }
 
@@ -97,11 +100,16 @@ val step_into :
   iter:((int -> msg -> unit) -> unit) ->
   rand:Sim.Rand.t ->
   emit:(int -> msg -> unit) ->
+  emit_all:(lo:int -> hi:int -> skip:int -> desc:bool -> msg -> unit) ->
   unit
 (** Iterator core of {!step}: [iter f] must call [f src m] for every inbox
     message in delivery order (the buffered path iterates its mailbox
     directly — no intermediate list); outgoing messages go to [emit] in
-    the exact order {!step} would list them. *)
+    the exact order {!step} would list them. Full-group and full-instance
+    broadcasts of one shared record go through [emit_all] (descending
+    ranges, matching the legacy reverse-member wire order) whenever the
+    relevant pid set is contiguous; {!step} realises them pointwise via
+    {!Sim.Protocol_intf.emit_all_pointwise}. *)
 
 val finalize : t -> inbox:(int * msg) list -> unit
 (** Consume the broadcast slot's inbox (lines 15-16); call exactly once,

@@ -134,15 +134,16 @@ let make ?(params = Params.default) (cfg : Sim.Config.t) =
             end
           done
 
-    let broadcast_into st m ~emit =
-      for dst = 0 to n - 1 do
-        if dst <> st.pid then emit dst m
-      done
+    let broadcast_into st m ~emit_all =
+      emit_all ~lo:0 ~hi:(n - 1) ~skip:st.pid ~desc:false m
 
     (* The whole state machine, once, for both engine paths. Replies to
        Help requests go out first, exactly as the old list path's
        [replies @ out]. *)
-    let step_core st ~round ~iter ~rand ~emit =
+    let step_core st ~round ~iter ~rand ~emit ~emit_all =
+      let emit_all_pk ~lo ~hi ~skip ~desc m =
+        emit_all ~lo ~hi ~skip ~desc (Pk_msg m)
+      in
       absorb st ~iter;
       emit_replies st ~emit;
       (match st.phase with
@@ -150,6 +151,8 @@ let make ?(params = Params.default) (cfg : Sim.Config.t) =
       | Voting when round <= core_rounds ->
           Core.step_into st.core ~slot:round ~iter:(core_iter iter) ~rand
             ~emit:(fun dst m -> emit dst (Core_msg m))
+            ~emit_all:(fun ~lo ~hi ~skip ~desc m ->
+              emit_all ~lo ~hi ~skip ~desc (Core_msg m))
       | Voting ->
           (* round = core_rounds + 1: close the voting, start gossiping *)
           Core.finalize_into st.core ~iter:iter_empty;
@@ -169,7 +172,7 @@ let make ?(params = Params.default) (cfg : Sim.Config.t) =
                     ~input:(Core.candidate st.core)
                 in
                 Phase_king.step_into pk ~local_round:1 ~iter:iter_empty
-                  ~emit:(fun dst m -> emit dst (Pk_msg m));
+                  ~emit_all:emit_all_pk;
                 st.phase <- Fallback pk
               end
               else st.phase <- Waiting)
@@ -177,15 +180,14 @@ let make ?(params = Params.default) (cfg : Sim.Config.t) =
           let local_round = round - decision_round in
           if local_round <= pk_rounds - 1 then
             Phase_king.step_into pk ~local_round:(local_round + 1)
-              ~iter:(pk_iter iter)
-              ~emit:(fun dst m -> emit dst (Pk_msg m))
+              ~iter:(pk_iter iter) ~emit_all:emit_all_pk
           else begin
             let pk = Phase_king.finalize_into pk ~iter:(pk_iter iter) in
             match Phase_king.decision pk with
             | Some v ->
                 st.value <- Some v;
                 st.phase <- Done v;
-                broadcast_into st (Decided v) ~emit
+                broadcast_into st (Decided v) ~emit_all
             | None ->
                 (* terminal hand-off: the help/reply exchange recovers the
                    value — a decided process always exists in-model *)
@@ -204,7 +206,7 @@ let make ?(params = Params.default) (cfg : Sim.Config.t) =
               end
               else if not st.broadcast_help then begin
                 st.broadcast_help <- true;
-                broadcast_into st Help ~emit
+                broadcast_into st Help ~emit_all
               end));
       (* a decided process keeps answering Help requests *)
       match st.phase with
@@ -213,15 +215,16 @@ let make ?(params = Params.default) (cfg : Sim.Config.t) =
 
     let step _cfg st ~round ~inbox ~rand =
       let out = ref [] in
+      let emit dst m = out := (dst, m) :: !out in
       step_core st ~round
         ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
-        ~rand
-        ~emit:(fun dst m -> out := (dst, m) :: !out);
+        ~rand ~emit
+        ~emit_all:(Sim.Protocol_intf.emit_all_pointwise emit);
       (st, List.rev !out)
 
-    let step_into _cfg st ~round ~inbox ~rand ~emit =
+    let step_into _cfg st ~round ~inbox ~rand ~emit ~emit_all =
       step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~rand
-        ~emit;
+        ~emit ~emit_all;
       st
 
     let observe st =

@@ -104,7 +104,7 @@ module M = struct
       (st, !out)
     end
 
-  let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+  let step_into _cfg st ~round ~inbox ~rand:_ ~emit:_ ~emit_all =
     Sim.Mailbox.iter inbox (fun _src (Relay { value; chain }) ->
         accept st ~round ~value ~chain);
     if round > st.t_max + 1 then begin
@@ -112,14 +112,12 @@ module M = struct
       st
     end
     else begin
-      (* acceptance order ([to_relay] is consed), one shared record per
+      (* acceptance order ([to_relay] is consed), one broadcast entry per
          relayed chain — matches the list path's emission order exactly *)
       List.iter
         (fun (value, chain) ->
-          let m = Relay { value; chain } in
-          for dst = 0 to st.n - 1 do
-            if dst <> st.pid then emit dst m
-          done)
+          emit_all ~lo:0 ~hi:(st.n - 1) ~skip:st.pid ~desc:false
+            (Relay { value; chain }))
         (List.rev st.to_relay);
       st.to_relay <- [];
       st

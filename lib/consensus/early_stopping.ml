@@ -47,10 +47,8 @@ module M = struct
       announced = false;
     }
 
-  let broadcast_into st m ~emit =
-    for dst = 0 to st.n - 1 do
-      if dst <> st.pid then emit dst m
-    done
+  let broadcast_into st m ~emit_all =
+    emit_all ~lo:0 ~hi:(st.n - 1) ~skip:st.pid ~desc:false m
 
   (* Two passes over the inbox iterator (iterators are re-runnable on both
      engine paths): first scan for a decision announcement, then — absent
@@ -79,24 +77,26 @@ module M = struct
   (* Shared per-round logic — one shared message record per broadcast, in
      ascending destination order (the wire order the list path always
      had). *)
-  let step_core st ~round ~iter ~emit =
+  let step_core st ~round ~iter ~emit_all =
     if round > 1 && st.decided = None then process st ~round ~iter;
     match st.decided with
     | Some v when not st.announced ->
         st.announced <- true;
-        broadcast_into st (Val { v; final = true }) ~emit
+        broadcast_into st (Val { v; final = true }) ~emit_all
     | Some _ -> ()
-    | None -> broadcast_into st (Val { v = st.v; final = false }) ~emit
+    | None -> broadcast_into st (Val { v = st.v; final = false }) ~emit_all
 
   let step _cfg st ~round ~inbox ~rand:_ =
     let out = ref [] in
     step_core st ~round
       ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
-      ~emit:(fun dst m -> out := (dst, m) :: !out);
+      ~emit_all:
+        (Sim.Protocol_intf.emit_all_pointwise (fun dst m ->
+             out := (dst, m) :: !out));
     (st, List.rev !out)
 
-  let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
-    step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~emit;
+  let step_into _cfg st ~round ~inbox ~rand:_ ~emit:_ ~emit_all =
+    step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~emit_all;
     st
 
   let observe st =

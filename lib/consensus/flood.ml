@@ -76,18 +76,16 @@ module M = struct
         done;
         (st, !out)
 
-  let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+  let step_into _cfg st ~round ~inbox ~rand:_ ~emit:_ ~emit_all =
     Sim.Mailbox.iter inbox (fun _src (Values { zero; one }) ->
         if zero then st.zero <- true;
         if one then st.one <- true);
     (match absorb st ~round with
     | None -> ()
     | Some (zero, one) ->
-        (* one shared message record for the whole broadcast *)
-        let m = Values { zero; one } in
-        for dst = 0 to st.n - 1 do
-          if dst <> st.pid then emit dst m
-        done);
+        (* one shared record, one broadcast entry for the whole round *)
+        emit_all ~lo:0 ~hi:(st.n - 1) ~skip:st.pid ~desc:false
+          (Values { zero; one }));
     st
 
   let observe st =

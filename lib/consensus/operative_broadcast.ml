@@ -116,7 +116,7 @@ let make ?(params = Params.default) ?(source = 0) (cfg : Sim.Config.t) =
         ~emit:(fun dst m -> out := (dst, m) :: !out);
       (st, List.rev !out)
 
-    let step_into _cfg st ~round ~inbox ~rand:_ ~emit =
+    let step_into _cfg st ~round ~inbox ~rand:_ ~emit ~emit_all:_ =
       step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~emit;
       st
 

@@ -131,12 +131,19 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
       { phase = Voting (Core.create shared ~pid ~input); pid }
 
     (* The whole state machine, once, for both engine paths. *)
-    let step_core st ~round ~ctx ~rand ~emit =
+    let step_core st ~round ~ctx ~rand ~emit ~emit_all =
+      let emit_all_core ~lo ~hi ~skip ~desc m =
+        emit_all ~lo ~hi ~skip ~desc (Core_msg m)
+      in
+      let emit_all_pk ~lo ~hi ~skip ~desc m =
+        emit_all ~lo ~hi ~skip ~desc (Pk_msg m)
+      in
       match st.phase with
       | Done _ -> st
       | Voting core when round <= core_rounds ->
           Core.step_into core ~slot:round ~iter:ctx.iter_core ~rand
-            ~emit:(fun dst m -> emit dst (Core_msg m));
+            ~emit:(fun dst m -> emit dst (Core_msg m))
+            ~emit_all:emit_all_core;
           st
       | Voting core -> (
           (* round = core_rounds + 1: lines 15-16 *)
@@ -151,7 +158,7 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
                     ~participating:true ~input:(Core.candidate core)
                 in
                 Phase_king.step_into pk ~local_round:1 ~iter:iter_empty
-                  ~emit:(fun dst m -> emit dst (Pk_msg m));
+                  ~emit_all:emit_all_pk;
                 { st with phase = Fallback { core; pk } }
               end
               else { st with phase = Waiting { core } })
@@ -159,8 +166,7 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
           let local_round = round - core_rounds - 1 in
           if local_round <= pk_rounds - 1 then begin
             Phase_king.step_into pk ~local_round:(local_round + 1)
-              ~iter:ctx.iter_pk
-              ~emit:(fun dst m -> emit dst (Pk_msg m));
+              ~iter:ctx.iter_pk ~emit_all:emit_all_pk;
             st
           end
           else begin
@@ -168,10 +174,9 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
             let pk = Phase_king.finalize_into pk ~iter:ctx.iter_pk in
             match Phase_king.decision pk with
             | Some v ->
-                let m = Decided v in
-                for dst = 0 to cfg.Sim.Config.n - 1 do
-                  if dst <> st.pid then emit dst m
-                done;
+                emit_all ~lo:0
+                  ~hi:(cfg.Sim.Config.n - 1)
+                  ~skip:st.pid ~desc:false (Decided v);
                 { st with phase = Done { core; value = v } }
             | None ->
                 (* heard nothing all fallback long: resolve next round from
@@ -195,14 +200,15 @@ let make ?(params = Params.default) ?vote_log (cfg : Sim.Config.t) =
 
     let step _cfg st ~round ~inbox ~rand =
       let out = ref [] in
+      let emit dst m = out := (dst, m) :: !out in
       let st' =
-        step_core st ~round ~ctx:(ctx_of_list inbox) ~rand
-          ~emit:(fun dst m -> out := (dst, m) :: !out)
+        step_core st ~round ~ctx:(ctx_of_list inbox) ~rand ~emit
+          ~emit_all:(Sim.Protocol_intf.emit_all_pointwise emit)
       in
       (st', List.rev !out)
 
-    let step_into _cfg st ~round ~inbox ~rand ~emit =
-      step_core st ~round ~ctx:(ctx_of_mailbox inbox) ~rand ~emit
+    let step_into _cfg st ~round ~inbox ~rand ~emit ~emit_all =
+      step_core st ~round ~ctx:(ctx_of_mailbox inbox) ~rand ~emit ~emit_all
 
     let observe st =
       let core = core_of st.phase in

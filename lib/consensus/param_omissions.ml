@@ -128,10 +128,8 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
         decision = None;
       }
 
-    let broadcast_into st m ~emit =
-      for dst = 0 to n - 1 do
-        if dst <> st.pid then emit dst m
-      done
+    let broadcast_into st m ~emit_all =
+      emit_all ~lo:0 ~hi:(n - 1) ~skip:st.pid ~desc:false m
 
     (* Filtered views of the whole-inbox iterator: filtering happens
        during iteration, so the buffered path never materializes a list. *)
@@ -252,7 +250,10 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
               ())
 
     (* The whole state machine, once, for both engine paths. *)
-    let step_core st ~round ~iter ~rand ~emit =
+    let step_core st ~round ~iter ~rand ~emit ~emit_all =
+      let emit_all_pk ~lo ~hi ~skip ~desc m =
+        emit_all ~lo ~hi ~skip ~desc (Pk_msg m)
+      in
       if st.decision <> None then ()
       else if round < p.safety_start then begin
         (* round-robin stage: phase-local slots 1..phase_len; the core runs
@@ -277,6 +278,8 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
         if in_my_phase && ls <= cl then
           Core.step_into st.core ~slot:ls ~iter:(sub_iter ~phase iter) ~rand
             ~emit:(fun dst m -> emit dst (Sub (phase, m)))
+            ~emit_all:(fun ~lo ~hi ~skip ~desc m ->
+              emit_all ~lo ~hi ~skip ~desc (Sub (phase, m)))
         else if ls > p.phase_core_len then flood_emission_into st ~emit
       end
       else begin
@@ -285,12 +288,12 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
           (* entry: close the last phase; emission: safety vote (line 17) *)
           process_flood st ~iter;
           end_of_phase st;
-          if st.operative then broadcast_into st (Safety_vote st.b) ~emit
+          if st.operative then broadcast_into st (Safety_vote st.b) ~emit_all
         end
         else if s = 1 then begin
           process_safety_votes st ~iter;
           if st.operative && st.decided_flag then
-            broadcast_into st (Safety_final st.b) ~emit
+            broadcast_into st (Safety_final st.b) ~emit_all
         end
         else if s = 2 then begin
           process_safety_final st ~iter;
@@ -303,7 +306,7 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
                 ~participating:true ~input:st.b
             in
             Phase_king.step_into pk ~local_round:1 ~iter:iter_empty
-              ~emit:(fun dst m -> emit dst (Pk_msg m));
+              ~emit_all:emit_all_pk;
             st.pk <- Some pk
           end
         end
@@ -311,15 +314,14 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
           match st.pk with
           | Some pk when s <= p.pk_rounds + 1 ->
               Phase_king.step_into pk ~local_round:(s - 1)
-                ~iter:(pk_iter iter)
-                ~emit:(fun dst m -> emit dst (Pk_msg m))
+                ~iter:(pk_iter iter) ~emit_all:emit_all_pk
           | Some pk when s = p.pk_rounds + 2 -> (
               let pk = Phase_king.finalize_into pk ~iter:(pk_iter iter) in
               st.pk <- Some pk;
               match Phase_king.decision pk with
               | Some v ->
                   st.decision <- Some v;
-                  broadcast_into st (Decided v) ~emit
+                  broadcast_into st (Decided v) ~emit_all
               | None -> ())
           | Some pk when s = p.pk_rounds + 3 ->
               (* undecided residue: the safety-rule deciders of line 26
@@ -336,15 +338,16 @@ let make ?(params = Params.default) ~x (cfg : Sim.Config.t) =
 
     let step _cfg st ~round ~inbox ~rand =
       let out = ref [] in
+      let emit dst m = out := (dst, m) :: !out in
       step_core st ~round
         ~iter:(fun f -> List.iter (fun (src, m) -> f src m) inbox)
-        ~rand
-        ~emit:(fun dst m -> out := (dst, m) :: !out);
+        ~rand ~emit
+        ~emit_all:(Sim.Protocol_intf.emit_all_pointwise emit);
       (st, List.rev !out)
 
-    let step_into _cfg st ~round ~inbox ~rand ~emit =
+    let step_into _cfg st ~round ~inbox ~rand ~emit ~emit_all =
       step_core st ~round ~iter:(fun f -> Sim.Mailbox.iter inbox f) ~rand
-        ~emit;
+        ~emit ~emit_all;
       st
 
     let observe st =

@@ -70,10 +70,8 @@ let king_of_phase st phase = phase mod st.n
    iterates its mailbox directly — no intermediate (src, msg) list. *)
 let iter_of_list inbox f = List.iter (fun (src, m) -> f src m) inbox
 
-let broadcast_into st m ~emit =
-  for dst = 0 to st.n - 1 do
-    if dst <> st.pid then emit dst m
-  done
+let broadcast_into st m ~emit_all =
+  emit_all ~lo:0 ~hi:(st.n - 1) ~skip:st.pid ~desc:false m
 
 (* Adoption rule executed on entry to a phase, consuming the previous
    phase's king message. *)
@@ -114,19 +112,19 @@ let count st ~iter =
   st.strong <- m_p > 0 && 2 * c.(maj) > m_p + (4 * st.t_max)
 
 (** Iterator core of {!step}: consumes the inbox through [iter] and hands
-    outgoing messages to [emit] (ascending destination order, one shared
-    message record per broadcast). *)
-let step_into st ~local_round ~iter ~emit =
+    outgoing messages to [emit_all] — every emission here is a full
+    broadcast (ascending destination order, one shared message record). *)
+let step_into st ~local_round ~iter ~emit_all =
   if st.participating then begin
     let phase = (local_round - 1) / 2 in
     if local_round mod 2 = 1 then begin
       if phase > 0 then adopt st ~prev_phase:(phase - 1) ~iter;
-      broadcast_into st (Value st.v) ~emit
+      broadcast_into st (Value st.v) ~emit_all
     end
     else begin
       count st ~iter;
       if king_of_phase st phase = st.pid then
-        broadcast_into st (King st.maj) ~emit
+        broadcast_into st (King st.maj) ~emit_all
     end
   end
 
@@ -135,8 +133,10 @@ let step_into st ~local_round ~iter ~emit =
     previous king's verdict); even rounds count and let the king speak. *)
 let step st ~local_round ~inbox =
   let out = ref [] in
-  step_into st ~local_round ~iter:(iter_of_list inbox) ~emit:(fun dst m ->
-      out := (dst, m) :: !out);
+  step_into st ~local_round ~iter:(iter_of_list inbox)
+    ~emit_all:
+      (Sim.Protocol_intf.emit_all_pointwise (fun dst m ->
+           out := (dst, m) :: !out));
   (st, List.rev !out)
 
 (** Iterator core of {!finalize}: consume the last phase's king message and
@@ -180,10 +180,11 @@ module M = struct
     else if round = last + 1 then (finalize st ~inbox, [])
     else (st, [])
 
-  let step_into (cfg : Sim.Config.t) st ~round ~inbox ~rand:_ ~emit =
+  let step_into (cfg : Sim.Config.t) st ~round ~inbox ~rand:_ ~emit:_
+      ~emit_all =
     let last = rounds ~t_max:cfg.t_max in
     let iter f = Sim.Mailbox.iter inbox f in
-    if round <= last then step_into st ~local_round:round ~iter ~emit
+    if round <= last then step_into st ~local_round:round ~iter ~emit_all
     else if round = last + 1 then ignore (finalize_into st ~iter : t);
     st
 

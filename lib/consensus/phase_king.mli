@@ -35,12 +35,15 @@ val step_into :
   t ->
   local_round:int ->
   iter:((int -> msg -> unit) -> unit) ->
-  emit:(int -> msg -> unit) ->
+  emit_all:(lo:int -> hi:int -> skip:int -> desc:bool -> msg -> unit) ->
   unit
 (** Iterator core of {!step}: [iter f] must call [f src m] for every inbox
     message in delivery order (a mailbox iterates directly — no
-    intermediate list); outgoing messages go to [emit] in the exact order
-    {!step} would list them. Both engine paths run this same core. *)
+    intermediate list). Every emission here is a full broadcast, so
+    outgoing messages go through [emit_all] (ascending destination order,
+    one shared record); the list-based {!step} realises it pointwise via
+    {!Sim.Protocol_intf.emit_all_pointwise}, so both engine paths run this
+    same core. *)
 
 val finalize : t -> inbox:(int * msg) list -> t
 (** Consume the last king message and fix the decision. A participant that

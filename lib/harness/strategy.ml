@@ -473,9 +473,7 @@ let compile ?(name = "strategy") t : Sim.Adversary_intf.t =
           in
           ignore (walk ctx 0 true t);
           let preds = !preds in
-          {
-            Sim.View.new_faults = List.rev !(ctx.faults);
-            omit =
-              (fun src dst -> List.exists (fun p -> p src dst) preds);
-          });
+          Sim.View.pointwise
+            ~new_faults:(List.rev !(ctx.faults))
+            ~omit:(fun src dst -> List.exists (fun p -> p src dst) preds));
   }

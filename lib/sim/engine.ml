@@ -126,17 +126,43 @@ type instance = {
      out already sorted). *)
 let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
   let n = cfg.n in
+  (* Mailboxes start tiny and grow on demand: a [~hint:n] here would cost
+     O(n^2) words before the first round (2n buffers of n slots — ~256 MB
+     at n = 4096), paid even by runs whose protocols broadcast through
+     segments and never materialise n rows. Instance construction is
+     O(n); the few doubling steps on the first heavy round are amortised
+     away by reuse. *)
   let inboxes : P.msg Mailbox.t array =
-    Array.init n (fun _ -> Mailbox.create ~hint:n ())
+    Array.init n (fun _ -> Mailbox.create ())
   in
+  (* Round-shared broadcast table: the fast path delivers a surviving
+     broadcast as one table entry instead of one row per destination;
+     every inbox merges the table back in at read time. *)
+  let bcast = Mailbox.shared_create () in
+  Array.iteri (fun pid ib -> Mailbox.attach_shared ib bcast ~owner:pid) inboxes;
   let outboxes : P.msg Mailbox.t array =
-    Array.init n (fun _ -> Mailbox.create ~hint:n ())
+    Array.init n (fun _ -> Mailbox.create ())
   in
-  (* One emit closure per sender, allocated once. *)
+  (* One emit / emit_all closure pair per sender, allocated once. The
+     destination-range check lives here (not in the arena fill, which is
+     now lazy and may never run). *)
   let emits =
     Array.init n (fun pid ->
         let ob = outboxes.(pid) in
-        fun dst m -> Mailbox.push ob ~peer:dst m)
+        fun dst m ->
+          if dst < 0 || dst >= n then
+            invalid_arg "Engine.run: message to out-of-range pid";
+          Mailbox.push ob ~peer:dst m)
+  in
+  let emit_alls =
+    Array.init n (fun pid ->
+        let ob = outboxes.(pid) in
+        fun ~lo ~hi ~skip ~desc m ->
+          if hi >= lo then begin
+            if lo < 0 || hi >= n then
+              invalid_arg "Engine.run: message to out-of-range pid";
+            Mailbox.push_all ob ~lo ~hi ~skip ~desc m
+          end)
   in
   let faulty = Array.make n false in
   let used_randomness = Array.make n false in
@@ -194,8 +220,30 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
       faults_used = 0;
       obs = view_obs;
       envelopes = [||];
+      envelopes_ready = true;
+      refresh_envelopes = (fun () -> [||]);
     }
   in
+  (* Lazy arena fill: expand every outbox — broadcast segments included —
+     into envelope records, each sender walked in reverse emission order
+     (the ordering note above). Installed as the view's refresher; runs
+     at most once per round, and only when someone actually reads the
+     envelopes (tracer, [on_round] hook, or an envelope-inspecting
+     adversary). *)
+  let fill_arena () =
+    arena_len := 0;
+    let total = ref 0 in
+    for pid = 0 to n - 1 do
+      total := !total + Mailbox.length outboxes.(pid)
+    done;
+    arena_ensure !total;
+    for pid = 0 to n - 1 do
+      Mailbox.riter outboxes.(pid) (fun dst m ->
+          arena_push pid dst (max 1 (P.msg_bits m)) (P.msg_hint m))
+    done;
+    arena_window ()
+  in
+  view.View.refresh_envelopes <- fill_arena;
   (* Per-sender omission flags, grown to the largest outbox seen. *)
   let omit_scratch = ref Bytes.empty in
   let run_i ?on_round ?stop ?trace ?link ~(adversary : Adversary_intf.t)
@@ -221,6 +269,7 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
     let states = Array.init n (fun pid -> P.init cfg ~pid ~input:inputs.(pid)) in
     Array.iter Mailbox.clear inboxes;
     Array.iter Mailbox.clear outboxes;
+    Mailbox.shared_clear bcast;
     Array.fill faulty 0 n false;
     Array.fill used_randomness 0 n false;
     let faults_used = ref 0 in
@@ -271,7 +320,7 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
         Rand.derive_into ~into:step_rand root ((r * n) + pid);
         let state' =
           P.step_into cfg states.(pid) ~round:r ~inbox:inboxes.(pid)
-            ~rand:step_rand ~emit:emits.(pid)
+            ~rand:step_rand ~emit:emits.(pid) ~emit_all:emit_alls.(pid)
         in
         states.(pid) <- state';
         used_randomness.(pid) <- Rand.Counter.calls counter > calls_before;
@@ -321,26 +370,10 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
         incr pid
       done;
       if !everyone_decided && !decided_round = None then decided_round := Some r;
-      (* Phase 2: adversary intervention. Fill the arena sender by sender,
-         each outbox walked back-to-front (see the ordering note above). The
-         round total is known up front, so the arena grows in one step. *)
-      arena_len := 0;
-      let total = ref 0 in
-      for pid = 0 to n - 1 do
-        total := !total + Mailbox.length outboxes.(pid)
-      done;
-      arena_ensure !total;
-      for pid = 0 to n - 1 do
-        let ob = outboxes.(pid) in
-        for i = Mailbox.length ob - 1 downto 0 do
-          let dst = Mailbox.peer ob i in
-          if dst < 0 || dst >= n then
-            invalid_arg "Engine.run: message to out-of-range pid";
-          let m = Mailbox.msg ob i in
-          arena_push pid dst (max 1 (P.msg_bits m)) (P.msg_hint m)
-        done
-      done;
-      let envelopes = arena_window () in
+      (* Phase 2: adversary intervention. The envelope arena is no longer
+         filled eagerly: the view refreshes it on first access (the
+         tracer and [on_round] force it; an adversary that never reads
+         envelopes skips the O(messages) expansion entirely). *)
       view.View.round <- r;
       Array.blit faulty 0 view.View.faulty 0 n;
       view.View.faults_used <- !faults_used;
@@ -349,8 +382,10 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
         o.View.core <- P.observe states.(pid);
         o.View.used_randomness <- used_randomness.(pid)
       done;
-      view.View.envelopes <- envelopes;
-      (match on_round with Some f -> f ~round:r envelopes | None -> ());
+      view.View.envelopes_ready <- false;
+      (match on_round with
+      | Some f -> f ~round:r (View.envelopes view)
+      | None -> ());
       (match tr with
       | None -> ()
       | Some t ->
@@ -360,7 +395,7 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
                 (Trace.Event.Send
                    { round = r; src = e.src; dst = e.dst; bits = e.bits;
                      hint = e.hint }))
-            envelopes);
+            (View.envelopes view));
       let plan = adv view in
       List.iter
         (fun pid ->
@@ -389,57 +424,165 @@ let instance (module P : Protocol_intf.BUFFERED) (cfg : Config.t) : instance =
       (match link with
       | None -> ()
       | Some l -> l.Link_intf.begin_round ~round:r);
-      for pid = 0 to n - 1 do
-        let ob = outboxes.(pid) in
-        let len = Mailbox.length ob in
-        if len > 0 then begin
-          if Bytes.length !omit_scratch < len then
-            omit_scratch := Bytes.create len;
-          let om = !omit_scratch in
-          for i = 0 to len - 1 do
-            let dst = Mailbox.peer ob i in
-            incr messages_sent;
-            bits_sent := !bits_sent + max 1 (P.msg_bits (Mailbox.msg ob i));
-            if plan.omit pid dst then begin
-              if (not faulty.(pid)) && not faulty.(dst) then
-                illegal "omission between non-faulty %d -> %d at round %d" pid
-                  dst r;
-              incr messages_omitted;
-              Bytes.unsafe_set om i '\001';
-              match tr with
-              | None -> ()
-              | Some t ->
-                  Trace.Sink.emit t.sink
-                    (Trace.Event.Omit { round = r; src = pid; dst })
-            end
-            else begin
-              let delivered =
-                match link with
-                | None -> true
-                | Some l -> (
-                    match
-                      l.Link_intf.transmit ~trace ~round:r ~src:pid ~dst
-                    with
-                    | Link_intf.Delivered -> true
-                    | Link_intf.Lost -> false)
+      let fast = (match tr with None -> true | Some _ -> false) && link = None in
+      (* Last round's broadcast-table entries were consumed in phase 1;
+         the table refills below (fast path only — it stays empty on the
+         general path, whose inboxes then iterate as plain rows). *)
+      Mailbox.shared_clear bcast;
+      (match plan.compiled with
+      | Some compiled when fast ->
+          (* Mask-blit fast path: no tracer and no link, and the plan
+             carries a compiled verdict per sender. Counters update in
+             aggregate (one add per entry, broadcast segments unexpanded);
+             the only per-destination work left is the inbox push for
+             survivors — and the forward legality scan, which preserves
+             the exact [Illegal_plan] the general path would raise (the
+             first omitted message, in emission order, whose endpoints are
+             both non-faulty). *)
+          for pid = 0 to n - 1 do
+            let ob = outboxes.(pid) in
+            let total = Mailbox.length ob in
+            if total > 0 then begin
+              messages_sent := !messages_sent + total;
+              Mailbox.iter_entries ob
+                ~point:(fun _dst m ->
+                  bits_sent := !bits_sent + max 1 (P.msg_bits m))
+                ~seg:(fun ~lo:_ ~hi:_ ~skip:_ ~desc:_ ~size m ->
+                  bits_sent := !bits_sent + (size * max 1 (P.msg_bits m)));
+              (* A sender whose round is pure wide broadcast delivers
+                 through the round-shared table: O(1) per segment instead
+                 of one inbox row per destination. Mixed, pointwise or
+                 narrow-segment (e.g. one-group) outboxes keep the
+                 per-destination blit — every receiver scans the whole
+                 table, so only segments covering at least half the
+                 network pay for their scan slot — and the routing is
+                 all-or-nothing per sender, so table sources and
+                 pointwise inbox rows stay disjoint (the merge contract).
+                 Segments are appended in reverse emission order — the
+                 same per-sender order the pointwise blit produces. *)
+              let pure_bcast =
+                Mailbox.point_length ob = 0
+                && Mailbox.seg_count ob > 0
+                && 2 * Mailbox.min_seg_span ob >= n
               in
-              if delivered then begin
-                Bytes.unsafe_set om i '\000';
-                match tr with
-                | None -> ()
-                | Some t ->
-                    Trace.Sink.emit t.sink
-                      (Trace.Event.Deliver { round = r; src = pid; dst })
-              end
-              else Bytes.unsafe_set om i '\002'
+              match compiled pid with
+              | View.Deliver_all ->
+                  if pure_bcast then
+                    Mailbox.riter_entries ob
+                      ~point:(fun _ _ -> assert false)
+                      ~seg:(fun ~lo ~hi ~skip ~desc:_ ~size:_ m ->
+                        Mailbox.shared_push bcast ~src:pid ~lo ~hi ~skip
+                          ~mask:Bytes.empty m)
+                  else
+                    (* senders ascend and each sender pushes in reverse
+                       emission order, so inboxes come out sorted with the
+                       same-sender order the legacy engine produced *)
+                    Mailbox.rdeliver ob inboxes ~peer:pid
+              | View.Omit_all ->
+                  if not faulty.(pid) then
+                    Mailbox.iter ob (fun dst _m ->
+                        if not faulty.(dst) then
+                          illegal
+                            "omission between non-faulty %d -> %d at round %d"
+                            pid dst r);
+                  messages_omitted := !messages_omitted + total
+              | View.Omit_mask b ->
+                  let sender_faulty = faulty.(pid) in
+                  Mailbox.iter ob (fun dst _m ->
+                      if Bytes.get b dst <> '\000' then begin
+                        if (not sender_faulty) && not faulty.(dst) then
+                          illegal
+                            "omission between non-faulty %d -> %d at round %d"
+                            pid dst r;
+                        incr messages_omitted
+                      end);
+                  if pure_bcast then
+                    Mailbox.riter_entries ob
+                      ~point:(fun _ _ -> assert false)
+                      ~seg:(fun ~lo ~hi ~skip ~desc:_ ~size:_ m ->
+                        Mailbox.shared_push bcast ~src:pid ~lo ~hi ~skip
+                          ~mask:b m)
+                  else Mailbox.rdeliver_masked ob inboxes ~peer:pid ~mask:b
             end
-          done;
-          for i = len - 1 downto 0 do
-            if Bytes.unsafe_get om i = '\000' then
-              Mailbox.push inboxes.(Mailbox.peer ob i) ~peer:pid (Mailbox.msg ob i)
           done
-        end
-      done;
+      | _ ->
+          (* General path: tracer or link present, or a pointwise-only
+             plan. Broadcast segments are expanded in place first, then
+             the per-message loop runs exactly as the legacy engine did —
+             with the omission verdict read from the compiled mask when
+             one exists (so traced runs still exercise mask semantics)
+             and from the predicate otherwise. *)
+          for pid = 0 to n - 1 do
+            let ob = outboxes.(pid) in
+            Mailbox.flatten ob;
+            let len = Mailbox.length ob in
+            if len > 0 then begin
+              if Bytes.length !omit_scratch < len then
+                omit_scratch := Bytes.create len;
+              let om = !omit_scratch in
+              (* per-sender verdict source: 0 = predicate, 1 = deliver
+                 all, 2 = omit all, 3 = mask bytes *)
+              let mode, mbytes =
+                match plan.compiled with
+                | None -> (0, Bytes.empty)
+                | Some c -> (
+                    match c pid with
+                    | View.Deliver_all -> (1, Bytes.empty)
+                    | View.Omit_all -> (2, Bytes.empty)
+                    | View.Omit_mask b -> (3, b))
+              in
+              for i = 0 to len - 1 do
+                let dst = Mailbox.peer ob i in
+                incr messages_sent;
+                bits_sent := !bits_sent + max 1 (P.msg_bits (Mailbox.msg ob i));
+                let omitted =
+                  match mode with
+                  | 0 -> plan.omit pid dst
+                  | 1 -> false
+                  | 2 -> true
+                  | _ -> Bytes.get mbytes dst <> '\000'
+                in
+                if omitted then begin
+                  if (not faulty.(pid)) && not faulty.(dst) then
+                    illegal "omission between non-faulty %d -> %d at round %d"
+                      pid dst r;
+                  incr messages_omitted;
+                  Bytes.unsafe_set om i '\001';
+                  match tr with
+                  | None -> ()
+                  | Some t ->
+                      Trace.Sink.emit t.sink
+                        (Trace.Event.Omit { round = r; src = pid; dst })
+                end
+                else begin
+                  let delivered =
+                    match link with
+                    | None -> true
+                    | Some l -> (
+                        match
+                          l.Link_intf.transmit ~trace ~round:r ~src:pid ~dst
+                        with
+                        | Link_intf.Delivered -> true
+                        | Link_intf.Lost -> false)
+                  in
+                  if delivered then begin
+                    Bytes.unsafe_set om i '\000';
+                    match tr with
+                    | None -> ()
+                    | Some t ->
+                        Trace.Sink.emit t.sink
+                          (Trace.Event.Deliver { round = r; src = pid; dst })
+                  end
+                  else Bytes.unsafe_set om i '\002'
+                end
+              done;
+              for i = len - 1 downto 0 do
+                if Bytes.unsafe_get om i = '\000' then
+                  Mailbox.push inboxes.(Mailbox.peer ob i) ~peer:pid
+                    (Mailbox.msg ob i)
+              done
+            end
+          done);
       (* The backward survivor push fills every inbox sorted by ascending
          sender already; assert the contract in debug builds instead of
          paying an O(n + len) re-sort scan on the steady-state hot path. *)

@@ -63,11 +63,16 @@ module type BUFFERED = sig
     inbox:msg Mailbox.t ->
     rand:Rand.t ->
     emit:(int -> msg -> unit) ->
+    emit_all:(lo:int -> hi:int -> skip:int -> desc:bool -> msg -> unit) ->
     state
   (** Local-computation phase of [round]. [inbox] holds the previous round's
       deliveries sorted by sender and is only valid for the duration of this
-      call. Each outgoing message is pushed with [emit dst msg]; emission
-      order must match what {!S.step} would return. *)
+      call. Each outgoing message is pushed with [emit dst msg]; a
+      broadcast of one shared record to the pid range [lo..hi] (minus
+      [skip]) goes through [emit_all] instead — the engine stores it as a
+      single entry. [desc] declares the emission direction ([hi] down to
+      [lo]); the flattened emission order, with [emit_all] expanded in its
+      declared direction, must match what {!S.step} would return. *)
 
   val observe : state -> View.obs_core
   val msg_bits : msg -> int
@@ -75,6 +80,19 @@ module type BUFFERED = sig
 end
 
 type buffered = (module BUFFERED)
+
+(** [emit_all] realised by pointwise [emit] calls — what the list-based
+    [step] wrappers thread through their shared cores so both paths run
+    the same emission logic. *)
+let emit_all_pointwise emit ~lo ~hi ~skip ~desc m =
+  if desc then
+    for dst = hi downto lo do
+      if dst <> skip then emit dst m
+    done
+  else
+    for dst = lo to hi do
+      if dst <> skip then emit dst m
+    done
 
 (** Compatibility shim: run a list-based protocol on the buffered engine.
     The inbox is materialised as the legacy sorted list and the returned
@@ -88,7 +106,7 @@ module Shim (P : S) :
   let name = P.name
   let init = P.init
 
-  let step_into cfg st ~round ~inbox ~rand ~emit =
+  let step_into cfg st ~round ~inbox ~rand ~emit ~emit_all:_ =
     let st, out = P.step cfg st ~round ~inbox:(Mailbox.to_list inbox) ~rand in
     List.iter (fun (dst, m) -> emit dst m) out;
     st

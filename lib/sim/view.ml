@@ -44,8 +44,31 @@ type t = {
   obs : obs array;
   mutable envelopes : envelope array;
       (** all messages produced this round; the array is exact-length for
-          the round but its records live in a reused arena *)
+          the round but its records live in a reused arena. Read through
+          {!val-envelopes}: the engine fills the arena lazily, so the field
+          is only valid when [envelopes_ready] *)
+  mutable envelopes_ready : bool;
+  mutable refresh_envelopes : unit -> envelope array;
+      (** installed by the engine; expands this round's pending messages
+          (broadcasts included) into the envelope arena *)
 }
+
+(** The round's pending messages, one envelope per (src, dst) pair —
+    broadcasts expanded. The engine materialises the array on first access
+    each round; an adversary that never looks at the envelopes never pays
+    for them. *)
+let envelopes t =
+  if not t.envelopes_ready then begin
+    t.envelopes <- t.refresh_envelopes ();
+    t.envelopes_ready <- true
+  end;
+  t.envelopes
+
+(** Compiled per-sender omission verdict: what the adversary does to one
+    sender's messages this round, decidable without a per-destination
+    closure call. [Omit_mask b] drops exactly the destinations whose byte
+    in [b] is non-zero ([b] is indexed by pid, length n). *)
+type mask = Deliver_all | Omit_all | Omit_mask of Bytes.t
 
 type plan = {
   new_faults : int list;
@@ -54,9 +77,26 @@ type plan = {
       (** [omit src dst]: drop this round's message from [src] to [dst].
           Must return [false] whenever neither endpoint is faulty — the
           engine enforces this. *)
+  compiled : (int -> mask) option;
+      (** per-sender compiled form of [omit], when the strategy can
+          precompute it: [compiled src] must agree with [omit src dst] for
+          every [dst], and must not draw randomness or otherwise depend on
+          call order. The engine prefers it wherever present (mask-blit
+          delivery with aggregate counters); strategies whose predicate
+          draws randomness per call — where the draw order is part of the
+          observable bit-stream — must leave it [None]. *)
 }
 
-let no_op = { new_faults = []; omit = (fun _ _ -> false) }
+(** Plan with only the pointwise predicate — the compatibility
+    constructor for hand-written strategies and tests. *)
+let pointwise ~new_faults ~omit = { new_faults; omit; compiled = None }
+
+let no_op =
+  {
+    new_faults = [];
+    omit = (fun _ _ -> false);
+    compiled = Some (fun _ -> Deliver_all);
+  }
 
 (** Omission predicate dropping every message to or from any pid in [pids]. *)
 let omit_all_of pids =
@@ -64,5 +104,7 @@ let omit_all_of pids =
   List.iter (fun p -> Hashtbl.replace set p ()) pids;
   fun src dst -> Hashtbl.mem set src || Hashtbl.mem set dst
 
-(** Crash-style plan: corrupt [pids] and silence them completely. *)
-let crash pids = { new_faults = pids; omit = omit_all_of pids }
+(** Crash-style plan: corrupt [pids] and silence them completely.
+    Pointwise (the helper does not know n, so it cannot build masks);
+    adversaries that want the compiled path build their own plans. *)
+let crash pids = { new_faults = pids; omit = omit_all_of pids; compiled = None }

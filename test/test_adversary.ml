@@ -86,6 +86,150 @@ let test_standard_suite_runs () =
         (Sim.Engine.agreed_decision o <> None))
     suite
 
+(* --- Bytes-snapshot refactor equality (random_omission / chaotic) ---
+
+   The fault-set probe inside the randomized omission predicates moved
+   from a Hashtbl to a per-pid Bytes flag. The refactor must be invisible
+   bit-for-bit: the && short-circuit means the predicate draws one random
+   float exactly when an endpoint is faulty, so any change to the probe's
+   answer (or its evaluation order) shifts the whole downstream random
+   stream. Re-create the OLD Hashtbl-probing implementations here and
+   compare full traced runs. *)
+
+let old_random_omission ~p_omit =
+  {
+    Sim.Adversary_intf.name = Printf.sprintf "random-omission(p=%.2f)" p_omit;
+    create =
+      (fun cfg rand ->
+        let faulty_set = Hashtbl.create 16 in
+        let chosen = ref false in
+        fun view ->
+          let new_faults =
+            if !chosen then []
+            else begin
+              chosen := true;
+              let perm = Array.init cfg.Sim.Config.n (fun i -> i) in
+              Sim.Rand.shuffle rand perm;
+              let victims =
+                Array.to_list (Array.sub perm 0 cfg.Sim.Config.t_max)
+              in
+              List.iter (fun pid -> Hashtbl.replace faulty_set pid ()) victims;
+              victims
+            end
+          in
+          ignore view;
+          Sim.View.pointwise ~new_faults
+            ~omit:(fun src dst ->
+              (Hashtbl.mem faulty_set src || Hashtbl.mem faulty_set dst)
+              && Sim.Rand.float rand < p_omit));
+  }
+
+let old_chaotic ?(corrupt_rate = 0.3) ?(omit_rate = 0.5) () =
+  {
+    Sim.Adversary_intf.name = "chaotic";
+    create =
+      (fun cfg rand ->
+        let faulty_set = Hashtbl.create 16 in
+        fun view ->
+          let new_faults =
+            if
+              view.Sim.View.faults_used < cfg.Sim.Config.t_max
+              && Sim.Rand.float rand < corrupt_rate
+            then begin
+              let live = ref [] in
+              for pid = cfg.Sim.Config.n - 1 downto 0 do
+                if not view.faulty.(pid) then live := pid :: !live
+              done;
+              match !live with
+              | [] -> []
+              | l ->
+                  let arr = Array.of_list l in
+                  let victim =
+                    arr.(Sim.Rand.int_below rand (Array.length arr))
+                  in
+                  Hashtbl.replace faulty_set victim ();
+                  [ victim ]
+            end
+            else []
+          in
+          Sim.View.pointwise ~new_faults
+            ~omit:(fun src dst ->
+              (Hashtbl.mem faulty_set src || Hashtbl.mem faulty_set dst)
+              && Sim.Rand.float rand < omit_rate));
+  }
+
+let traced_run ~n ~t ~seed adversary =
+  let cfg = Sim.Config.make ~n ~t_max:t ~seed ~max_rounds:2000 () in
+  let proto = Consensus.Bjbo.protocol cfg in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let sink, events = Trace.Sink.memory () in
+  let o = Sim.Engine.run ~trace:sink proto cfg ~adversary ~inputs in
+  (o, List.map Trace.Event.to_json (events ()))
+
+let qcheck t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xadf |]) t
+
+let qcheck_random_omission_snapshot =
+  QCheck.Test.make ~name:"random_omission: Bytes probe = old Hashtbl probe"
+    ~count:20
+    QCheck.(pair (int_range 1 1000) (int_range 0 100))
+    (fun (seed, p100) ->
+      let p_omit = float_of_int p100 /. 100. in
+      traced_run ~n:24 ~t:5 ~seed (Adversary.random_omission ~p_omit)
+      = traced_run ~n:24 ~t:5 ~seed (old_random_omission ~p_omit))
+
+let qcheck_chaotic_snapshot =
+  QCheck.Test.make ~name:"chaotic: Bytes probe = old Hashtbl probe" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      traced_run ~n:24 ~t:5 ~seed (Adversary.chaotic ())
+      = traced_run ~n:24 ~t:5 ~seed (old_chaotic ()))
+
+(* --- mask-vs-predicate plan equivalence on random fault sets ---
+
+   A hand-built crash-style adversary over an arbitrary fault set, in two
+   forms: compiled (Omit_all per crashed sender) and pointwise. Both runs
+   (traced, so the general path consults the mask bytes message by
+   message) must be byte-identical. *)
+
+let masked_crash ~victims =
+  {
+    Sim.Adversary_intf.name = "masked-crash";
+    create =
+      (fun cfg _rand ->
+        let crashed_b = Bytes.make cfg.Sim.Config.n '\000' in
+        let done_ = ref false in
+        fun _view ->
+          let new_faults =
+            if !done_ then []
+            else begin
+              done_ := true;
+              List.iter (fun pid -> Bytes.set crashed_b pid '\001') victims;
+              victims
+            end
+          in
+          {
+            Sim.View.new_faults;
+            omit = (fun src _dst -> Bytes.get crashed_b src <> '\000');
+            compiled =
+              Some
+                (fun src ->
+                  if Bytes.get crashed_b src <> '\000' then Sim.View.Omit_all
+                  else Sim.View.Deliver_all);
+          });
+  }
+
+let qcheck_mask_equals_predicate =
+  QCheck.Test.make ~name:"compiled masks = pointwise predicate (random faults)"
+    ~count:30
+    QCheck.(pair (int_range 1 1000) (list_of_size (Gen.return 5) (int_range 0 23)))
+    (fun (seed, pids) ->
+      let victims = List.sort_uniq compare pids in
+      let t = max 1 (List.length victims) in
+      traced_run ~n:24 ~t ~seed (masked_crash ~victims)
+      = traced_run ~n:24 ~t ~seed
+          (Adversary.pointwise (masked_crash ~victims)))
+
 let suite =
   [
     Alcotest.test_case "vote splitter spends budget" `Quick
@@ -103,4 +247,7 @@ let suite =
     Alcotest.test_case "eclipse spares the victim" `Quick
       test_eclipse_targets_victim_links;
     Alcotest.test_case "standard suite" `Quick test_standard_suite_runs;
+    qcheck qcheck_random_omission_snapshot;
+    qcheck qcheck_chaotic_snapshot;
+    qcheck qcheck_mask_equals_predicate;
   ]

@@ -120,9 +120,10 @@ let test_flood_single_zero_crashed_late () =
         (fun _ _ view ->
           if view.Sim.View.round = 1 then
             (* pid 0 delivers its 0 only to pid 1, then dies *)
-            { Sim.View.new_faults = [ 0 ];
-              omit = (fun src dst -> src = 0 && dst <> 1) }
-          else { Sim.View.new_faults = []; omit = (fun src _ -> src = 0) });
+            Sim.View.pointwise ~new_faults:[ 0 ]
+              ~omit:(fun src dst -> src = 0 && dst <> 1)
+          else
+            Sim.View.pointwise ~new_faults:[] ~omit:(fun src _ -> src = 0));
     }
   in
   let o = run_flood ~n ~t:3 ~adversary inputs in
@@ -239,12 +240,13 @@ let test_es_mid_round_crash_chain () =
         (fun _ _ view ->
           match view.Sim.View.round with
           | 1 ->
-              { Sim.View.new_faults = [ 0 ];
-                omit = (fun src dst -> src = 0 && dst <> 1) }
+              Sim.View.pointwise ~new_faults:[ 0 ]
+                ~omit:(fun src dst -> src = 0 && dst <> 1)
           | 2 ->
-              { Sim.View.new_faults = [ 1 ];
-                omit = (fun src dst -> src <= 1 && not (src = 1 && dst = 2)) }
-          | _ -> { Sim.View.new_faults = []; omit = (fun src _ -> src <= 1) });
+              Sim.View.pointwise ~new_faults:[ 1 ]
+                ~omit:(fun src dst -> src <= 1 && not (src = 1 && dst = 2))
+          | _ ->
+              Sim.View.pointwise ~new_faults:[] ~omit:(fun src _ -> src <= 1));
     }
   in
   let o = run_es ~n ~t:4 ~adversary inputs in

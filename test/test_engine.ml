@@ -97,7 +97,9 @@ let test_illegal_omission_rejected () =
   let adversary =
     {
       Sim.Adversary_intf.name = "cheater";
-      create = (fun _ _ _ -> { Sim.View.new_faults = []; omit = (fun _ _ -> true) });
+      create =
+        (fun _ _ _ ->
+          Sim.View.pointwise ~new_faults:[] ~omit:(fun _ _ -> true));
     }
   in
   Alcotest.(check bool) "illegal omission raises" true
@@ -113,7 +115,7 @@ let test_budget_enforced () =
       create =
         (fun _ _ view ->
           ignore view;
-          { Sim.View.new_faults = [ 0; 1; 2 ]; omit = (fun _ _ -> false) });
+          Sim.View.pointwise ~new_faults:[ 0; 1; 2 ] ~omit:(fun _ _ -> false));
     }
   in
   Alcotest.(check bool) "budget overrun raises" true
@@ -130,8 +132,8 @@ let test_faulty_omission_allowed () =
       create =
         (fun _ _ view ->
           if view.Sim.View.round = 1 then
-            { Sim.View.new_faults = [ 5 ]; omit = (fun _ dst -> dst = 5) }
-          else { Sim.View.new_faults = []; omit = (fun _ dst -> dst = 5) });
+            Sim.View.pointwise ~new_faults:[ 5 ] ~omit:(fun _ dst -> dst = 5)
+          else Sim.View.pointwise ~new_faults:[] ~omit:(fun _ dst -> dst = 5));
     }
   in
   let o = run ~adversary () in
@@ -242,7 +244,7 @@ let test_out_of_range_corruption_rejected () =
       create =
         (fun _ _ view ->
           if view.Sim.View.round = 1 then
-            { Sim.View.new_faults = [ 99 ]; omit = (fun _ _ -> false) }
+            Sim.View.pointwise ~new_faults:[ 99 ] ~omit:(fun _ _ -> false)
           else Sim.View.no_op);
     }
   in
@@ -261,7 +263,7 @@ let test_exact_budget_boundary_allowed () =
       create =
         (fun _ _ view ->
           if view.Sim.View.round = 1 then
-            { Sim.View.new_faults = [ 0; 1 ]; omit = (fun _ _ -> false) }
+            Sim.View.pointwise ~new_faults:[ 0; 1 ] ~omit:(fun _ _ -> false)
           else Sim.View.no_op);
     }
   in
@@ -275,7 +277,8 @@ let test_recorruption_is_free () =
     {
       Sim.Adversary_intf.name = "repeater";
       create =
-        (fun _ _ _ -> { Sim.View.new_faults = [ 5 ]; omit = (fun _ _ -> false) });
+        (fun _ _ _ ->
+          Sim.View.pointwise ~new_faults:[ 5 ] ~omit:(fun _ _ -> false));
     }
   in
   let o = run ~t:2 ~adversary () in
@@ -292,13 +295,14 @@ let test_view_contents () =
       create =
         (fun _ _ view ->
           if view.Sim.View.obs.(0).used_randomness then seen_coin := true;
-          if Array.length view.envelopes > 0 then begin
+          let envelopes = Sim.View.envelopes view in
+          if Array.length envelopes > 0 then begin
             seen_envelopes := true;
             Array.iter
               (fun e ->
                 if e.Sim.View.hint = None then
                   failwith "echo messages carry hints")
-              view.envelopes
+              envelopes
           end;
           Sim.View.no_op);
     }
@@ -375,6 +379,25 @@ let test_outcome_helper_edges () =
   Alcotest.(check (option int)) "undecided blocks agreement" None
     (Sim.Engine.agreed_decision mid_undecided)
 
+let test_instance_construction_linear () =
+  (* Mailboxes must start tiny and grow on demand: a ~hint:n at creation
+     would allocate 2n buffers of n slots — O(n^2) words — before the
+     first round. At n = 4096 that is ~33M words; O(n) construction stays
+     under a small multiple of n. *)
+  let n = 4096 in
+  let cfg = Sim.Config.make ~n ~t_max:1 ~seed:1 ~max_rounds:8 () in
+  let proto = Consensus.Flood.protocol_buffered cfg in
+  Gc.full_major ();
+  let before = Gc.allocated_bytes () in
+  let inst = Sim.Engine.instance proto cfg in
+  let after = Gc.allocated_bytes () in
+  let words = (after -. before) /. float_of_int (Sys.word_size / 8) in
+  ignore inst;
+  Alcotest.(check bool)
+    (Printf.sprintf "instance allocates %.0f words <= 200n" words)
+    true
+    (words <= 200. *. float_of_int n)
+
 let test_input_validation () =
   let cfg = cfg () in
   Alcotest.(check bool) "wrong input length rejected" true
@@ -421,5 +444,7 @@ let suite =
     Alcotest.test_case "outcome helpers" `Quick test_agreed_decision_helpers;
     Alcotest.test_case "outcome helper edge cases" `Quick
       test_outcome_helper_edges;
+    Alcotest.test_case "instance construction is O(n) at n=4096" `Quick
+      test_instance_construction_linear;
     Alcotest.test_case "input validation" `Quick test_input_validation;
   ]

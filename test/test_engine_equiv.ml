@@ -32,15 +32,34 @@ let cfg_for entry ~seed =
 (* One traced run: outcome (or the Illegal_plan message) plus the trace as
    JSON lines. The adversary strategy is rebuilt per run — some strategies
    close over mutable state, and sharing one across compared runs would
-   let the first run's state bleed into the second. *)
-let capture ~n ~adv_idx run =
+   let the first run's state bleed into the second. [strip] replaces the
+   strategy with its {!Adversary.pointwise} form (compiled masks removed),
+   putting the engine on the per-message predicate path. *)
+let capture ?(strip = false) ~n ~adv_idx run =
   let adversary = List.nth (Adversary.standard_suite ~n) adv_idx in
+  let adversary = if strip then Adversary.pointwise adversary else adversary in
   let sink, events = Trace.Sink.memory () in
   let res =
     try Ok (run ~adversary ~trace:sink)
     with Sim.Engine.Illegal_plan m -> Error m
   in
   (res, List.map Trace.Event.to_json (events ()))
+
+(* Untraced run: outcome only. Without a tracer the engine takes the
+   mask-blit fast path whenever the plan carries compiled verdicts, so
+   comparing this against the stripped (predicate-path) run is what
+   actually exercises the fast path's delivery, counters and legality
+   scan. *)
+let capture_untraced ?(strip = false) ~n ~adv_idx run =
+  let adversary = List.nth (Adversary.standard_suite ~n) adv_idx in
+  let adversary = if strip then Adversary.pointwise adversary else adversary in
+  try Ok (run ~adversary) with Sim.Engine.Illegal_plan m -> Error m
+
+let check_outcome_equal ~ctx a b =
+  if a <> b then
+    Alcotest.failf "%s: outcomes differ (%s vs %s)" ctx
+      (match a with Ok _ -> "Ok" | Error m -> "Illegal_plan " ^ m)
+      (match b with Ok _ -> "Ok" | Error m -> "Illegal_plan " ^ m)
 
 let adversary_count =
   List.length (Adversary.standard_suite ~n:12)
@@ -90,6 +109,36 @@ let test_entry entry () =
                     cfg ~adversary ~inputs)
             in
             check_equal ~ctx:(ctx ^ " [shim vs preferred]") legacy preferred;
+            (* same grid with compiled masks stripped: the traced general
+               path must make identical per-message decisions whether it
+               reads the mask bytes or calls the predicate *)
+            let stripped =
+              capture ~strip:true ~n ~adv_idx (fun ~adversary ~trace ->
+                  Sim.Engine.run_any ~trace
+                    (Harness.Registry.build_any entry cfg)
+                    cfg ~adversary ~inputs)
+            in
+            check_equal ~ctx:(ctx ^ " [mask vs predicate]") legacy stripped;
+            (* untraced: compiled plans take the mask-blit fast path,
+               stripped ones the general path — outcomes must agree *)
+            let fast =
+              capture_untraced ~n ~adv_idx (fun ~adversary ->
+                  Sim.Engine.run_any
+                    (Harness.Registry.build_any entry cfg)
+                    cfg ~adversary ~inputs)
+            in
+            let general =
+              capture_untraced ~strip:true ~n ~adv_idx (fun ~adversary ->
+                  Sim.Engine.run_any
+                    (Harness.Registry.build_any entry cfg)
+                    cfg ~adversary ~inputs)
+            in
+            check_outcome_equal ~ctx:(ctx ^ " [fast vs general]") fast general;
+            (* tracing must not perturb the run: the untraced fast-path
+               outcome equals the traced legacy one, Illegal_plan message
+               included *)
+            check_outcome_equal ~ctx:(ctx ^ " [fast vs legacy]") (fst legacy)
+              fast;
             match entry.Harness.Registry.buffered with
             | None -> ()
             | Some bf ->

@@ -133,6 +133,156 @@ let qcheck_filter_reuse =
       fill_tagged mb second;
       first_ok && collect_filtered mb = filtered_list mb)
 
+(* --- broadcast segments --- *)
+
+(* A mixed load: pointwise pushes interleaved with broadcast ranges over a
+   small pid space, descending and ascending, with and without a skipped
+   destination (including skips outside the range and empty ranges). *)
+let op =
+  QCheck.(
+    map
+      (fun (point, (lo, span), (skip, desc), m) ->
+        if point then `P (lo, m)
+        else `B (lo, min 7 (lo + span), (if skip > 7 then -1 else skip), desc, m))
+      (quad bool
+         (pair (int_range 0 7) (int_range 0 7))
+         (pair (int_range 0 9) bool)
+         small_int))
+
+let mixed_load = QCheck.small_list op
+
+let apply_ops mb ops =
+  List.iter
+    (function
+      | `P (peer, m) -> Sim.Mailbox.push mb ~peer m
+      | `B (lo, hi, skip, desc, m) ->
+          Sim.Mailbox.push_all mb ~lo ~hi ~skip ~desc m)
+    ops
+
+(* The reference semantics: every broadcast expanded pointwise at its
+   emission position, in its declared direction. *)
+let expand_ops ops =
+  List.concat_map
+    (function
+      | `P (peer, m) -> [ (peer, m) ]
+      | `B (lo, hi, skip, desc, m) ->
+          let dsts = ref [] in
+          if desc then
+            for d = lo to hi do
+              if d <> skip then dsts := d :: !dsts
+            done
+          else
+            for d = hi downto lo do
+              if d <> skip then dsts := d :: !dsts
+            done;
+          List.map (fun d -> (d, m)) !dsts)
+    ops
+
+let qcheck_broadcast_equiv =
+  QCheck.Test.make
+    ~name:"push_all = pointwise pushes under iter/riter/to_list/length"
+    ~count:500 mixed_load (fun ops ->
+      let mb = Sim.Mailbox.create () in
+      apply_ops mb ops;
+      let expected = expand_ops ops in
+      let via_riter = ref [] in
+      Sim.Mailbox.riter mb (fun peer m -> via_riter := (peer, m) :: !via_riter);
+      Sim.Mailbox.length mb = List.length expected
+      && Sim.Mailbox.to_list mb = expected
+      && !via_riter = expected
+      && Sim.Mailbox.fold mb ~init:[] (fun acc p m -> (p, m) :: acc)
+         = List.rev expected)
+
+let qcheck_broadcast_flatten =
+  QCheck.Test.make
+    ~name:"flatten rewrites segments in place, emission order kept"
+    ~count:500 mixed_load (fun ops ->
+      let mb = Sim.Mailbox.create () in
+      apply_ops mb ops;
+      let expected = expand_ops ops in
+      Sim.Mailbox.flatten mb;
+      Sim.Mailbox.seg_count mb = 0
+      && Sim.Mailbox.point_length mb = List.length expected
+      && Sim.Mailbox.to_list mb = expected
+      && List.for_all
+           (fun i ->
+             (Sim.Mailbox.peer mb i, Sim.Mailbox.msg mb i)
+             = List.nth expected i)
+           (List.init (List.length expected) Fun.id))
+
+let qcheck_broadcast_entries =
+  QCheck.Test.make
+    ~name:"iter_entries/riter_entries visit segments at their positions"
+    ~count:300 mixed_load (fun ops ->
+      let mb = Sim.Mailbox.create () in
+      apply_ops mb ops;
+      let expand_entry ~lo ~hi ~skip ~desc ~size m =
+        let l = ref [] in
+        if desc then
+          for d = lo to hi do
+            if d <> skip then l := (d, m) :: !l
+          done
+        else
+          for d = hi downto lo do
+            if d <> skip then l := (d, m) :: !l
+          done;
+        assert (List.length !l = size);
+        !l
+      in
+      let fwd = ref [] in
+      Sim.Mailbox.iter_entries mb
+        ~point:(fun p m -> fwd := (p, m) :: !fwd)
+        ~seg:(fun ~lo ~hi ~skip ~desc ~size m ->
+          fwd := List.rev_append (expand_entry ~lo ~hi ~skip ~desc ~size m) !fwd);
+      let bwd = ref [] in
+      Sim.Mailbox.riter_entries mb
+        ~point:(fun p m -> bwd := (p, m) :: !bwd)
+        ~seg:(fun ~lo ~hi ~skip ~desc ~size m ->
+          bwd :=
+            List.rev_append
+              (List.rev (expand_entry ~lo ~hi ~skip ~desc ~size m))
+              !bwd);
+      let expected = expand_ops ops in
+      List.rev !fwd = expected && !bwd = expected)
+
+let qcheck_broadcast_reuse =
+  QCheck.Test.make
+    ~name:"broadcast clear-then-refill never exposes stale segments"
+    ~count:300
+    QCheck.(pair mixed_load mixed_load)
+    (fun (first, second) ->
+      let mb = Sim.Mailbox.create () in
+      apply_ops mb first;
+      Sim.Mailbox.clear mb;
+      Sim.Mailbox.length mb = 0
+      && Sim.Mailbox.seg_count mb = 0
+      && Sim.Mailbox.to_list mb = []
+      &&
+      (apply_ops mb second;
+       Sim.Mailbox.to_list mb = expand_ops second))
+
+let test_broadcast_identity () =
+  (* one push_all stores ONE shared record: every expanded slot must be
+     physically identical ([==]) to the pushed message, across segment
+     growth and across flatten *)
+  let mb = Sim.Mailbox.create () in
+  let records = Array.init 12 (fun i -> ref i) in
+  Array.iter (fun r -> Sim.Mailbox.push_all mb ~lo:0 ~hi:30 ~skip:7 r) records;
+  let ok = ref true in
+  let seen = Array.make 12 0 in
+  Sim.Mailbox.iter mb (fun _peer m ->
+      if not (m == records.(!m)) then ok := false;
+      seen.(!m) <- seen.(!m) + 1);
+  Alcotest.(check bool) "shared identity through growth" true !ok;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "fanout %d" i) 30 c)
+    seen;
+  Sim.Mailbox.flatten mb;
+  let ok = ref true in
+  Sim.Mailbox.iter mb (fun _peer m -> if not (m == records.(!m)) then ok := false);
+  Alcotest.(check bool) "shared identity after flatten" true !ok;
+  Alcotest.(check int) "flattened size" (12 * 30) (Sim.Mailbox.point_length mb)
+
 let test_bounds () =
   let mb = Sim.Mailbox.create () in
   Sim.Mailbox.push mb ~peer:3 "x";
@@ -155,5 +305,11 @@ let suite =
     qcheck qcheck_sorted_flag;
     qcheck qcheck_filter_equiv;
     qcheck qcheck_filter_reuse;
+    qcheck qcheck_broadcast_equiv;
+    qcheck qcheck_broadcast_flatten;
+    qcheck qcheck_broadcast_entries;
+    qcheck qcheck_broadcast_reuse;
+    Alcotest.test_case "push_all keeps one shared record" `Quick
+      test_broadcast_identity;
     Alcotest.test_case "bounds checks and clear semantics" `Quick test_bounds;
   ]

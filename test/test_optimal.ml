@@ -217,10 +217,9 @@ let eclipse_fallback ~victim ~from_round ~to_round =
         let r = view.Sim.View.round in
         if r < from_round || r > to_round then Sim.View.no_op
         else
-          {
-            Sim.View.new_faults = (if r = from_round then [ victim ] else []);
-            omit = (fun _src dst -> dst = victim);
-          });
+          Sim.View.pointwise
+            ~new_faults:(if r = from_round then [ victim ] else [])
+            ~omit:(fun _src dst -> dst = victim));
   }
 
 let test_undecided_fallback_regression () =

@@ -123,7 +123,8 @@ let test_illegal_plan_contained () =
     {
       Sim.Adversary_intf.name = "cheater";
       create =
-        (fun _ _ _ -> { Sim.View.new_faults = []; omit = (fun _ _ -> true) });
+        (fun _ _ _ ->
+          Sim.View.pointwise ~new_faults:[] ~omit:(fun _ _ -> true));
     }
   in
   let r =
